@@ -1,0 +1,76 @@
+// Command rcjbench regenerates the tables and figures of the paper's
+// experimental evaluation (Section 5).
+//
+// Usage:
+//
+//	rcjbench -exp table4            # one experiment
+//	rcjbench -exp fig16 -scale 1    # at full paper cardinalities
+//	rcjbench -exp all -scale 0.1    # everything, 10% scale (default)
+//
+// Experiments: table4, fig10, fig11, fig12, fig13, fig14, fig15, fig16,
+// fig17, fig18 (the paper's evaluation); ablate, costmodel, resultsize
+// (this library's extension studies); all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		expName    = flag.String("exp", "all", "experiment id: table4, fig10..fig18, or all")
+		scale      = flag.Float64("scale", 0.1, "dataset cardinality scale vs the paper (1 = full scale)")
+		bufferFrac = flag.Float64("buffer", 0.01, "buffer size as a fraction of total tree sizes")
+		pageSize   = flag.Int("pagesize", 1024, "index page size in bytes")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Scale: *scale, BufferFrac: *bufferFrac, PageSize: *pageSize, W: os.Stdout}
+
+	type experiment struct {
+		name string
+		run  func(exp.Config) error
+	}
+	experiments := []experiment{
+		{"table4", func(c exp.Config) error { _, err := exp.Table4(c); return err }},
+		{"fig10", func(c exp.Config) error { _, err := exp.Fig10(c); return err }},
+		{"fig11", func(c exp.Config) error { _, err := exp.Fig11(c); return err }},
+		{"fig12", func(c exp.Config) error { _, err := exp.Fig12(c); return err }},
+		{"fig13", func(c exp.Config) error { _, err := exp.Fig13(c); return err }},
+		{"fig14", func(c exp.Config) error { _, err := exp.Fig14(c); return err }},
+		{"fig15", func(c exp.Config) error { _, err := exp.Fig15(c); return err }},
+		{"fig16", func(c exp.Config) error { _, err := exp.Fig16(c); return err }},
+		{"fig17", func(c exp.Config) error { _, err := exp.Fig17(c); return err }},
+		{"fig18", func(c exp.Config) error { _, err := exp.Fig18(c); return err }},
+		{"ablate", func(c exp.Config) error { _, err := exp.Ablations(c); return err }},
+		{"costmodel", func(c exp.Config) error { _, err := exp.CostModel(c); return err }},
+		{"resultsize", func(c exp.Config) error { _, err := exp.ResultSize(c); return err }},
+		{"network", func(c exp.Config) error { _, err := exp.Network(c); return err }},
+	}
+
+	want := strings.ToLower(*expName)
+	ran := false
+	for _, e := range experiments {
+		if want != "all" && want != e.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		if err := e.run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "rcjbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "rcjbench: unknown experiment %q\n", *expName)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,216 @@
+// Package buffer implements the LRU buffer manager that sits between the
+// R-trees and the pager. The paper's experiments employ "a small memory
+// buffer ... to exploit the locality of data accesses and reduce the number
+// of page faults", sized as a percentage of the sum of both tree sizes
+// (default 1%), and charge 10 ms per fault. This pool reproduces that model:
+// every node access goes through Get, hits are free, misses are page faults.
+//
+// One pool may be shared by several trees (as in the paper, where both join
+// inputs compete for the same buffer); cache keys carry an owner id to keep
+// their page spaces apart.
+package buffer
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Key identifies a cached node: the owning tree and its page id.
+type Key struct {
+	Owner uint32
+	Page  storage.PageID
+}
+
+// Stats are cumulative access counters for a pool. Accesses counts every
+// logical node access (the paper's CPU-cost proxy); Misses counts page
+// faults (the paper's I/O-cost driver); Evictions counts LRU replacements.
+type Stats struct {
+	Accesses  int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Faults returns the number of page faults (cache misses).
+func (s Stats) Faults() int64 { return s.Misses }
+
+// HitRatio returns the fraction of accesses served from the buffer.
+func (s Stats) HitRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type entry struct {
+	key   Key
+	value any
+}
+
+// Pool is an LRU cache of deserialized R-tree nodes keyed by (owner, page).
+// A capacity of zero disables caching entirely (every access faults); a
+// negative capacity means unbounded. Pool is safe for concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[Key]*list.Element
+	stats    Stats
+}
+
+// NewPool returns a pool that holds at most capacity nodes.
+func NewPool(capacity int) *Pool {
+	return &Pool{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element),
+	}
+}
+
+// Capacity returns the pool's node capacity.
+func (p *Pool) Capacity() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity
+}
+
+// Resize changes the capacity, evicting LRU entries as needed.
+func (p *Pool) Resize(capacity int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.capacity = capacity
+	p.evictOverflow()
+}
+
+// Len returns the number of cached nodes.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ll.Len()
+}
+
+// Get returns the cached value for k, calling load to fetch and deserialize
+// it on a miss. The loaded value is cached (unless capacity is zero) and the
+// access is counted either way.
+func (p *Pool) Get(k Key, load func() (any, error)) (any, error) {
+	p.mu.Lock()
+	p.stats.Accesses++
+	if el, ok := p.items[k]; ok {
+		p.stats.Hits++
+		p.ll.MoveToFront(el)
+		v := el.Value.(*entry).value
+		p.mu.Unlock()
+		return v, nil
+	}
+	p.stats.Misses++
+	p.mu.Unlock()
+
+	// Load outside the lock: loads hit the pager, which has its own locking,
+	// and may be slow for file-backed pagers.
+	v, err := load()
+	if err != nil {
+		return nil, err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.capacity == 0 {
+		return v, nil
+	}
+	if el, ok := p.items[k]; ok {
+		// Another goroutine cached it meanwhile; prefer the existing value.
+		p.ll.MoveToFront(el)
+		return el.Value.(*entry).value, nil
+	}
+	el := p.ll.PushFront(&entry{key: k, value: v})
+	p.items[k] = el
+	p.evictOverflow()
+	return v, nil
+}
+
+// Put inserts or refreshes a cached value, used when a node is (re)written so
+// readers observe the new version.
+func (p *Pool) Put(k Key, v any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.capacity == 0 {
+		return
+	}
+	if el, ok := p.items[k]; ok {
+		el.Value.(*entry).value = v
+		p.ll.MoveToFront(el)
+		return
+	}
+	el := p.ll.PushFront(&entry{key: k, value: v})
+	p.items[k] = el
+	p.evictOverflow()
+}
+
+// Invalidate removes k from the cache if present.
+func (p *Pool) Invalidate(k Key) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.items[k]; ok {
+		p.ll.Remove(el)
+		delete(p.items, k)
+	}
+}
+
+// InvalidateOwner removes every cached node belonging to owner, used when a
+// tree is rebuilt.
+func (p *Pool) InvalidateOwner(owner uint32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for el := p.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry)
+		if e.key.Owner == owner {
+			p.ll.Remove(el)
+			delete(p.items, e.key)
+		}
+		el = next
+	}
+}
+
+// Clear empties the cache without touching the counters.
+func (p *Pool) Clear() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ll.Init()
+	p.items = make(map[Key]*list.Element)
+}
+
+// Stats returns cumulative access counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the counters, typically between the build phase and the
+// measured join phase of an experiment.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// evictOverflow drops LRU entries until the pool fits its capacity.
+// Caller must hold p.mu.
+func (p *Pool) evictOverflow() {
+	if p.capacity < 0 {
+		return
+	}
+	for p.ll.Len() > p.capacity {
+		el := p.ll.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*entry)
+		p.ll.Remove(el)
+		delete(p.items, e.key)
+		p.stats.Evictions++
+	}
+}

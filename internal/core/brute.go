@@ -1,0 +1,149 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// runBrute is the quadratic baseline of Section 1: a nested loop over P × Q
+// issuing a circle range search against both trees for every pair. Its
+// candidate count is |P|·|Q| (Table 4's BRUTE row). It exists as the ground
+// truth the index algorithms are validated against and is only practical on
+// small inputs.
+func (j *joiner) runBrute() ([]Pair, Stats, error) {
+	ps, err := j.tp.ScanAll()
+	if err != nil {
+		return nil, j.stats, err
+	}
+	qs, err := j.tq.ScanAll()
+	if err != nil {
+		return nil, j.stats, err
+	}
+	j.stats.Candidates = int64(len(ps)) * int64(len(qs))
+	for _, q := range qs {
+		for _, p := range ps {
+			if j.opts.SelfJoin {
+				if p.ID == q.ID {
+					continue
+				}
+				if !j.keepSelfPair(p, q) {
+					continue
+				}
+			}
+			c := geom.EnclosingCircle(p.P, q.P)
+			if !j.opts.SkipVerification {
+				ok, err := j.bruteValid(p, q, c)
+				if err != nil {
+					return nil, j.stats, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			j.emit(Pair{P: p, Q: q, Circle: c})
+		}
+	}
+	return j.out, j.stats, nil
+}
+
+// bruteValid verifies one pair with circle range searches on both trees.
+func (j *joiner) bruteValid(p, q rtree.PointEntry, c geom.Circle) (bool, error) {
+	if j.opts.SelfJoin || j.sameTree() {
+		hit, err := anyInCircle(j.tp, c, p.ID, q.ID)
+		return !hit, err
+	}
+	// Distinct datasets: in TP only p is excluded; in TQ only q.
+	hit, err := anyInCircle(j.tp, c, p.ID, p.ID)
+	if err != nil || hit {
+		return false, err
+	}
+	hit, err = anyInCircle(j.tq, c, q.ID, q.ID)
+	return !hit, err
+}
+
+// VerifyPair checks the ring constraint for one specific pair: whether the
+// smallest circle enclosing p ∈ P and q ∈ Q covers no other point of either
+// index. It is the point lookup the paper's decision-support scenarios need
+// when validating a proposed location rather than computing the full join.
+func VerifyPair(tq, tp SpatialIndex, p, q rtree.PointEntry, selfJoin bool) (bool, error) {
+	c := geom.EnclosingCircle(p.P, q.P)
+	if selfJoin || tq == tp {
+		hit, err := anyInCircle(tp, c, p.ID, q.ID)
+		return !hit, err
+	}
+	hit, err := anyInCircle(tp, c, p.ID, p.ID)
+	if err != nil || hit {
+		return false, err
+	}
+	hit, err = anyInCircle(tq, c, q.ID, q.ID)
+	return !hit, err
+}
+
+// anyInCircle reports whether the index holds a point other than the two
+// excluded ids covered by the closed disk c, short-circuiting on the first
+// hit.
+func anyInCircle(t SpatialIndex, c geom.Circle, ex1, ex2 int64) (bool, error) {
+	return anyInCircleRec(t, t.Root(), c, ex1, ex2)
+}
+
+func anyInCircleRec(t SpatialIndex, id storage.PageID, c geom.Circle, ex1, ex2 int64) (bool, error) {
+	if id == storage.InvalidPageID {
+		return false, nil
+	}
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return false, err
+	}
+	if n.Leaf {
+		for _, e := range n.Points {
+			if e.ID != ex1 && e.ID != ex2 && c.Covers(e.P) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	for _, e := range n.Children {
+		if c.IntersectsRect(e.MBR) {
+			hit, err := anyInCircleRec(t, e.Child, c, ex1, ex2)
+			if err != nil || hit {
+				return hit, err
+			}
+		}
+	}
+	return false, nil
+}
+
+// BruteForcePairs computes the RCJ of two plain point slices with no index at
+// all — O(n·m·(n+m)) — used by tests as an independent oracle that shares
+// nothing with the tree code except the containment predicate.
+func BruteForcePairs(ps, qs []rtree.PointEntry, selfJoin bool) []Pair {
+	var out []Pair
+	for _, q := range qs {
+		for _, p := range ps {
+			if selfJoin && p.ID >= q.ID {
+				continue
+			}
+			c := geom.EnclosingCircle(p.P, q.P)
+			valid := true
+			for _, r := range ps {
+				if r.ID != p.ID && (!selfJoin || r.ID != q.ID) && c.Covers(r.P) {
+					valid = false
+					break
+				}
+			}
+			if valid {
+				for _, r := range qs {
+					if r.ID != q.ID && (!selfJoin || r.ID != p.ID) && c.Covers(r.P) {
+						valid = false
+						break
+					}
+				}
+			}
+			if valid {
+				out = append(out, Pair{P: p, Q: q, Circle: c})
+			}
+		}
+	}
+	return out
+}

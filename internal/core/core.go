@@ -1,0 +1,191 @@
+// Package core implements the ring-constrained join (RCJ), the primary
+// contribution of Yiu, Karras and Mamoulis (EDBT 2008): given pointsets P
+// and Q indexed by R*-trees, find every pair <p, q> whose smallest enclosing
+// circle contains no other point of P ∪ Q.
+//
+// The package provides the paper's full algorithm family:
+//
+//   - Brute force (Section 1): nested loop with a circle range search per
+//     pair — the O(|P|·|Q|) baseline of Table 4.
+//   - INJ (Algorithms 2–5): index nested loop join. For each q ∈ Q in
+//     depth-first leaf order, a filter step walks TP in incremental-
+//     nearest-neighbor order, accumulating Ψ− half-plane pruners (Lemmas
+//     1–3) until the whole tree is pruned; surviving candidates become
+//     enclosing circles verified against both trees (Algorithm 3).
+//   - BIJ (Algorithms 6–7): the bulk variant that filters all points of a
+//     TQ leaf concurrently, ordering TP accesses by distance from the leaf
+//     centroid, and verifies all circles of the leaf in one pass per tree.
+//   - OBJ (Section 4.2): BIJ plus the symmetric pruning rule (Lemma 5),
+//     seeding each point's pruner set with its leaf siblings from Q.
+//
+// Containment is the closed-disk predicate geom.Circle.Covers shared with
+// the brute force, so all algorithms return identical result sets.
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// SpatialIndex is the access-method contract the join algorithms run over:
+// a disk-paged hierarchy whose nodes carry either points (leaves) or
+// MBR-tagged child pointers. The R*-tree is the paper's instantiation;
+// Section 3 notes the methodology applies to any hierarchical spatial index
+// (e.g. a point quadtree), which internal/quadtree demonstrates.
+type SpatialIndex interface {
+	// Root returns the root page, or storage.InvalidPageID when empty.
+	Root() storage.PageID
+	// ReadNode fetches one node, counting buffer accesses/faults.
+	ReadNode(storage.PageID) (*rtree.Node, error)
+	// VisitLeaves applies fn to every leaf in depth-first order.
+	VisitLeaves(fn func(*rtree.Node) error) error
+	// LeafPages lists all leaf pages in depth-first order.
+	LeafPages() ([]storage.PageID, error)
+	// ScanAll returns every indexed point.
+	ScanAll() ([]rtree.PointEntry, error)
+}
+
+var _ SpatialIndex = (*rtree.Tree)(nil)
+
+// Pair is one RCJ result: the two points and their smallest enclosing
+// circle. The circle center is the derived "fair middleman" location; the
+// radius is the common distance from the center to both points.
+type Pair struct {
+	P      rtree.PointEntry
+	Q      rtree.PointEntry
+	Circle geom.Circle
+}
+
+// Algorithm selects the RCJ evaluation strategy.
+type Algorithm int
+
+const (
+	// AlgINJ is the index nested loop join (Algorithm 5): per-point filter
+	// and verification, depth-first over TQ.
+	AlgINJ Algorithm = iota
+	// AlgBIJ is the bulk index nested loop join (Algorithm 6): per-leaf
+	// bulk filter and verification.
+	AlgBIJ
+	// AlgOBJ is BIJ optimized with the symmetric pruning rule of Lemma 5.
+	AlgOBJ
+	// AlgBrute is the quadratic nested loop with a range search per pair.
+	AlgBrute
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgINJ:
+		return "INJ"
+	case AlgBIJ:
+		return "BIJ"
+	case AlgOBJ:
+		return "OBJ"
+	case AlgBrute:
+		return "BRUTE"
+	default:
+		return "unknown"
+	}
+}
+
+// Options tunes a join run. The zero value runs INJ with every optimization
+// the paper describes for it.
+type Options struct {
+	// Algorithm picks the evaluation strategy (default AlgINJ).
+	Algorithm Algorithm
+	// SelfJoin declares that TP and TQ are the same tree over one dataset
+	// (the paper's postboxes scenario). Identity pairs are excluded and
+	// each unordered pair is reported once, with the smaller ID first.
+	SelfJoin bool
+	// SkipVerification omits the verification step, reporting raw filter
+	// candidates — only meaningful for the Figure 14 cost decomposition.
+	SkipVerification bool
+	// DisableFaceRule turns off the face-inside-circle verification
+	// shortcut (Algorithm 3 case 4) for the ablation bench.
+	DisableFaceRule bool
+	// RandomLeafOrder processes TQ leaves in a shuffled order instead of
+	// depth-first, quantifying the locality argument of Section 3.4.
+	// Ignored by AlgBrute. Seed fixes the shuffle.
+	RandomLeafOrder bool
+	// Seed seeds the leaf shuffle when RandomLeafOrder is set.
+	Seed int64
+	// Parallelism, when > 1, distributes TQ leaves over that many worker
+	// goroutines. The result set is identical to the sequential run but
+	// the emission order is not deterministic. Ignored by AlgBrute.
+	Parallelism int
+	// LeafSampleEvery, when > 1, processes only every k-th leaf of TQ —
+	// the sampling mode the cost estimator uses to extrapolate a full
+	// run's work from a fraction of it. Results are then a sample, not
+	// the exact join.
+	LeafSampleEvery int
+	// Collect controls whether result pairs are materialized. When false,
+	// only statistics are gathered (the large experiment sweeps count
+	// results without holding millions of pairs).
+	Collect bool
+	// OnPair, when non-nil, streams each result pair as it is confirmed.
+	OnPair func(Pair)
+}
+
+// Stats reports what a join run did. I/O and node-access counters live in
+// the buffer pool shared by the trees; the experiment harness snapshots
+// those around the call.
+type Stats struct {
+	// Candidates is the number of candidate pairs that survived the filter
+	// step and entered verification (Table 4's "number of candidate
+	// pairs"). For AlgBrute it is |P|·|Q|.
+	Candidates int64
+	// Results is the number of RCJ result pairs.
+	Results int64
+	// FilterHeapPops counts priority-queue pops in the filter step, a
+	// CPU-work proxy independent of the buffer.
+	FilterHeapPops int64
+	// VerifiedNodes counts R-tree nodes visited during verification.
+	VerifiedNodes int64
+	// OuterLeaves counts TQ leaves processed, the unit the sampling cost
+	// estimator extrapolates over.
+	OuterLeaves int64
+}
+
+// Join computes the ring-constrained join of the pointsets indexed by tq
+// (the outer input Q) and tp (the inner input P), returning the result pairs
+// (nil unless opts.Collect) and run statistics.
+func Join(tq, tp SpatialIndex, opts Options) ([]Pair, Stats, error) {
+	j := &joiner{tq: tq, tp: tp, opts: opts}
+	switch {
+	case opts.Algorithm == AlgBrute:
+		return j.runBrute()
+	case opts.Parallelism > 1:
+		return j.runParallel()
+	case opts.Algorithm == AlgBIJ || opts.Algorithm == AlgOBJ:
+		return j.runBulk(opts.Algorithm == AlgOBJ)
+	default:
+		return j.runINJ()
+	}
+}
+
+// joiner carries one run's state.
+type joiner struct {
+	tq, tp SpatialIndex
+	opts   Options
+	stats  Stats
+	out    []Pair
+}
+
+// emit records a confirmed result pair.
+func (j *joiner) emit(p Pair) {
+	j.stats.Results++
+	if j.opts.Collect {
+		j.out = append(j.out, p)
+	}
+	if j.opts.OnPair != nil {
+		j.opts.OnPair(p)
+	}
+}
+
+// keepSelfPair reports whether a pair should be emitted under self-join
+// canonicalization: identity pairs are dropped and each unordered pair is
+// kept only in (smaller ID, larger ID) orientation.
+func (j *joiner) keepSelfPair(p, q rtree.PointEntry) bool {
+	return p.ID < q.ID
+}

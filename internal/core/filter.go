@@ -1,0 +1,187 @@
+package core
+
+import (
+	"container/heap"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// This file implements the filter step: Algorithm 2 (per-point filter) and
+// Algorithm 7 (bulk filter), which retrieve from TP the candidate points that
+// may form RCJ pairs with the query point(s), pruning with the Ψ− half-plane
+// regions of Lemmas 1 and 3 (and, for OBJ, Lemma 5).
+
+// filterItem is a priority-queue element of the filter traversal: an
+// unexpanded TP subtree or an indexed point, keyed by (squared) distance
+// from the reference location.
+type filterItem struct {
+	dist2   float64
+	isPoint bool
+	page    storage.PageID
+	rect    geom.Rect // subtree MBR when !isPoint
+	point   rtree.PointEntry
+}
+
+type filterHeap []filterItem
+
+func (h filterHeap) Len() int { return len(h) }
+func (h filterHeap) Less(i, j int) bool {
+	if h[i].dist2 != h[j].dist2 {
+		return h[i].dist2 < h[j].dist2
+	}
+	return h[i].isPoint && !h[j].isPoint
+}
+func (h filterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *filterHeap) Push(x any)   { *h = append(*h, x.(filterItem)) }
+func (h *filterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// filter is Algorithm 2: it discovers points of TP in ascending distance from
+// q (incremental NN order, maximizing pruning power of the earliest
+// discoveries) and returns those not pruned by any Ψ−(q, p) of an earlier
+// candidate p. Every returned point is itself installed as a pruner.
+//
+// For self-joins the query point q is present in TP; it is skipped (a point
+// forms no pair with itself and its degenerate pruning region would
+// annihilate the search).
+func (j *joiner) filter(q rtree.PointEntry) ([]rtree.PointEntry, error) {
+	if j.tp.Root() == storage.InvalidPageID {
+		return nil, nil
+	}
+	var (
+		prs   geom.PrunerSet
+		cands []rtree.PointEntry
+		h     = filterHeap{{dist2: 0, page: j.tp.Root(), rect: geom.EmptyRect()}}
+	)
+	heap.Init(&h)
+	for h.Len() > 0 {
+		item := heap.Pop(&h).(filterItem)
+		j.stats.FilterHeapPops++
+		if item.isPoint {
+			if j.opts.SelfJoin && item.point.ID == q.ID {
+				continue
+			}
+			if prs.PrunesPoint(item.point.P) {
+				continue
+			}
+			cands = append(cands, item.point)
+			prs.Add(q.P, item.point.P)
+			continue
+		}
+		if !item.rect.IsEmpty() && prs.PrunesRect(item.rect) {
+			continue
+		}
+		n, err := j.tp.ReadNode(item.page)
+		if err != nil {
+			return nil, err
+		}
+		if n.Leaf {
+			for _, e := range n.Points {
+				heap.Push(&h, filterItem{dist2: q.P.Dist2(e.P), isPoint: true, point: e})
+			}
+		} else {
+			for _, e := range n.Children {
+				heap.Push(&h, filterItem{dist2: e.MBR.MinDist2(q.P), page: e.Child, rect: e.MBR})
+			}
+		}
+	}
+	return cands, nil
+}
+
+// bulkQuery is the per-point state of the bulk filter: the query point, its
+// accumulated pruning regions, and its candidate set q.S.
+type bulkQuery struct {
+	q       rtree.PointEntry
+	pruners geom.PrunerSet
+	cands   []rtree.PointEntry
+}
+
+// bulkFilter is Algorithm 7: it filters all points of one TQ leaf
+// concurrently. TP is traversed once in ascending distance from the leaf
+// centroid; an entry is discarded only when every query point prunes it
+// (line 7), and a surviving point is added to the candidate set of exactly
+// those query points that cannot prune it (lines 14–16).
+//
+// With symmetric pruning (OBJ, Lemma 5), each query point's pruner set is
+// pre-seeded with Ψ−(q, q') for every sibling q' in the leaf, so even an
+// empty candidate set shrinks the search space.
+func (j *joiner) bulkFilter(leafPoints []rtree.PointEntry, symmetric bool) ([]*bulkQuery, error) {
+	if len(leafPoints) == 0 || j.tp.Root() == storage.InvalidPageID {
+		return nil, nil
+	}
+	queries := make([]*bulkQuery, len(leafPoints))
+	var centroid geom.Point
+	for i, q := range leafPoints {
+		queries[i] = &bulkQuery{q: q}
+		centroid.X += q.P.X
+		centroid.Y += q.P.Y
+	}
+	centroid.X /= float64(len(leafPoints))
+	centroid.Y /= float64(len(leafPoints))
+
+	if symmetric {
+		// Lemma 5: seed each query's pruner set with its leaf siblings.
+		// Strict half-planes keep the rule sound when a sibling is itself a
+		// candidate (self-joins) — it lies exactly on its own boundary line.
+		for _, bq := range queries {
+			for _, other := range leafPoints {
+				if other.ID != bq.q.ID {
+					bq.pruners.AddStrict(bq.q.P, other.P)
+				}
+			}
+		}
+	}
+
+	h := filterHeap{{dist2: 0, page: j.tp.Root(), rect: geom.EmptyRect()}}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		item := heap.Pop(&h).(filterItem)
+		j.stats.FilterHeapPops++
+		if item.isPoint {
+			for _, bq := range queries {
+				if j.opts.SelfJoin && item.point.ID == bq.q.ID {
+					continue
+				}
+				if bq.pruners.PrunesPoint(item.point.P) {
+					continue
+				}
+				bq.cands = append(bq.cands, item.point)
+				bq.pruners.Add(bq.q.P, item.point.P)
+			}
+			continue
+		}
+		if !item.rect.IsEmpty() {
+			prunedForAll := true
+			for _, bq := range queries {
+				if !bq.pruners.PrunesRect(item.rect) {
+					prunedForAll = false
+					break
+				}
+			}
+			if prunedForAll {
+				continue
+			}
+		}
+		n, err := j.tp.ReadNode(item.page)
+		if err != nil {
+			return nil, err
+		}
+		if n.Leaf {
+			for _, e := range n.Points {
+				heap.Push(&h, filterItem{dist2: centroid.Dist2(e.P), isPoint: true, point: e})
+			}
+		} else {
+			for _, e := range n.Children {
+				heap.Push(&h, filterItem{dist2: e.MBR.MinDist2(centroid), page: e.Child, rect: e.MBR})
+			}
+		}
+	}
+	return queries, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+func l1PairKey(p L1Pair) string {
+	return fmt.Sprintf("%d|%d", p.P.ID, p.Q.ID)
+}
+
+func checkL1(t *testing.T, ps, qs []rtree.PointEntry, self bool) {
+	t.Helper()
+	pool := buffer.NewPool(-1)
+	var tq, tp *rtree.Tree
+	if self {
+		tp = buildTree(t, ps, pool, 1, true)
+		tq = tp
+	} else {
+		tp = buildTree(t, ps, pool, 1, true)
+		tq = buildTree(t, qs, pool, 2, true)
+	}
+	got, stats, err := JoinL1(tq, tp, Options{SelfJoin: self, Collect: true})
+	if err != nil {
+		t.Fatalf("L1 join: %v", err)
+	}
+	var want []L1Pair
+	if self {
+		want = BruteForceL1Pairs(ps, ps, true)
+	} else {
+		want = BruteForceL1Pairs(ps, qs, false)
+	}
+	ws := map[string]bool{}
+	for _, p := range want {
+		ws[l1PairKey(p)] = true
+	}
+	gs := map[string]bool{}
+	for _, p := range got {
+		if gs[l1PairKey(p)] {
+			t.Errorf("duplicate L1 pair %s", l1PairKey(p))
+		}
+		gs[l1PairKey(p)] = true
+	}
+	for k := range ws {
+		if !gs[k] {
+			t.Errorf("L1 false negative: %s", k)
+		}
+	}
+	for k := range gs {
+		if !ws[k] {
+			t.Errorf("L1 false positive: %s", k)
+		}
+	}
+	if stats.Results != int64(len(got)) {
+		t.Errorf("stats.Results=%d len=%d", stats.Results, len(got))
+	}
+}
+
+func TestL1JoinMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{2, 10, 60, 150} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			checkL1(t, randomPoints(rng, n), randomPoints(rng, n+5), false)
+		})
+	}
+}
+
+func TestL1JoinClustered(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	checkL1(t, clusteredPoints(rng, 100, 3, 300), clusteredPoints(rng, 80, 4, 500), false)
+}
+
+func TestL1SelfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	checkL1(t, randomPoints(rng, 90), nil, true)
+}
+
+func TestL1QuadrantLemma(t *testing.T) {
+	// Property: any pruned p' has its L1 ball covering p, so the prune is
+	// always justified (the L1 analogue of the Lemma 1 test).
+	rng := rand.New(rand.NewSource(20))
+	for i := 0; i < 20000; i++ {
+		q := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		p := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		pp := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		if p.Equal(q) {
+			continue
+		}
+		pr := newL1Pruner(q, p)
+		if pr.prunesPoint(pp) {
+			b := geom.L1EnclosingCircle(pp, q)
+			if !b.Covers(p) {
+				t.Fatalf("L1 quadrant lemma violated: q=%+v p=%+v p'=%+v", q, p, pp)
+			}
+		}
+	}
+}
+
+func TestL1DegenerateConfigs(t *testing.T) {
+	mk := func(pts ...geom.Point) []rtree.PointEntry {
+		out := make([]rtree.PointEntry, len(pts))
+		for i, p := range pts {
+			out[i] = rtree.PointEntry{P: p, ID: int64(i)}
+		}
+		return out
+	}
+	checkL1(t, mk(geom.Point{X: 0, Y: 0}, geom.Point{X: 2, Y: 0}, geom.Point{X: 4, Y: 0}),
+		mk(geom.Point{X: 1, Y: 0}, geom.Point{X: 3, Y: 0}), false)
+	checkL1(t, mk(geom.Point{X: 5, Y: 5}, geom.Point{X: 5, Y: 5}),
+		mk(geom.Point{X: 6, Y: 6}), false)
+	checkL1(t, mk(geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 1}, geom.Point{X: 2, Y: 2}, geom.Point{X: 0, Y: 2}), nil, true)
+}

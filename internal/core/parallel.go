@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// This file adds multi-goroutine execution to the join: TQ leaves are
+// distributed over a worker pool, each worker running the per-leaf pipeline
+// (filter + verification) with private state. Indexes are read-only during
+// a join and the buffer pool is safe for concurrent use, so workers share
+// both; only result emission is synchronized. The result SET is identical
+// to the sequential run; result ORDER is not deterministic.
+
+// runParallel executes the INJ/BIJ/OBJ outer loop with opts.Parallelism
+// workers.
+func (j *joiner) runParallel() ([]Pair, Stats, error) {
+	pages, err := j.tq.LeafPages()
+	if err != nil {
+		return nil, j.stats, err
+	}
+	if j.opts.RandomLeafOrder {
+		rng := rand.New(rand.NewSource(j.opts.Seed))
+		rng.Shuffle(len(pages), func(a, b int) { pages[a], pages[b] = pages[b], pages[a] })
+	}
+	if every := j.opts.LeafSampleEvery; every > 1 {
+		var sampled []storage.PageID
+		for i, id := range pages {
+			if i%every == 0 {
+				sampled = append(sampled, id)
+			}
+		}
+		pages = sampled
+	}
+
+	var (
+		emitMu  sync.Mutex
+		wg      sync.WaitGroup
+		work    = make(chan storage.PageID)
+		workers = make([]*joiner, j.opts.Parallelism)
+		errs    = make([]error, j.opts.Parallelism)
+	)
+	for w := range workers {
+		// Each worker is an independent joiner whose OnPair/Collect are
+		// redirected through the shared, locked emitter.
+		worker := &joiner{tq: j.tq, tp: j.tp, opts: j.opts}
+		worker.opts.Collect = false
+		base := j.opts
+		worker.opts.OnPair = func(p Pair) {
+			emitMu.Lock()
+			defer emitMu.Unlock()
+			if base.Collect {
+				j.out = append(j.out, p)
+			}
+			if base.OnPair != nil {
+				base.OnPair(p)
+			}
+		}
+		workers[w] = worker
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for page := range work {
+				n, err := j.tq.ReadNode(page)
+				if err != nil {
+					errs[w] = err
+					continue
+				}
+				if err := workers[w].processLeaf(n.Points); err != nil {
+					errs[w] = err
+				}
+			}
+		}(w)
+	}
+	for _, page := range pages {
+		work <- page
+	}
+	close(work)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, j.stats, err
+		}
+	}
+	for _, w := range workers {
+		j.stats.Candidates += w.stats.Candidates
+		j.stats.Results += w.stats.Results
+		j.stats.FilterHeapPops += w.stats.FilterHeapPops
+		j.stats.VerifiedNodes += w.stats.VerifiedNodes
+		j.stats.OuterLeaves += w.stats.OuterLeaves
+	}
+	return j.out, j.stats, nil
+}
+
+// processLeaf runs one worker's per-leaf pipeline according to the selected
+// algorithm.
+func (j *joiner) processLeaf(points []rtree.PointEntry) error {
+	j.stats.OuterLeaves++
+	switch j.opts.Algorithm {
+	case AlgBIJ:
+		return j.joinLeaf(points, false)
+	case AlgOBJ:
+		return j.joinLeaf(points, true)
+	default: // AlgINJ
+		for _, q := range points {
+			if err := j.joinOne(q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"math/rand"
+
+	"repro/internal/buffer"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	ps := clusteredPoints(rng, 400, 4, 600)
+	qs := clusteredPoints(rng, 350, 6, 800)
+	pool := buffer.NewPool(-1)
+	tp := buildTree(t, ps, pool, 1, true)
+	tq := buildTree(t, qs, pool, 2, true)
+	for _, alg := range []Algorithm{AlgINJ, AlgBIJ, AlgOBJ} {
+		seq, seqStats, err := Join(tq, tp, Options{Algorithm: alg, Collect: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 4, 8} {
+			t.Run(fmt.Sprintf("%v/workers=%d", alg, par), func(t *testing.T) {
+				got, stats, err := Join(tq, tp, Options{Algorithm: alg, Parallelism: par, Collect: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				diffPairs(t, "parallel", seq, got)
+				if stats.Results != seqStats.Results || stats.Candidates != seqStats.Candidates {
+					t.Errorf("stats diverge: parallel %+v vs sequential %+v", stats, seqStats)
+				}
+			})
+		}
+	}
+}
+
+func TestParallelSelfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	pts := randomPoints(rng, 300)
+	pool := buffer.NewPool(-1)
+	tr := buildTree(t, pts, pool, 1, true)
+	seq, _, err := Join(tr, tr, Options{Algorithm: AlgOBJ, SelfJoin: true, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := Join(tr, tr, Options{Algorithm: AlgOBJ, SelfJoin: true, Parallelism: 4, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffPairs(t, "parallel-self", seq, par)
+	for _, p := range par {
+		if p.P.ID >= p.Q.ID {
+			t.Errorf("non-canonical pair %d,%d", p.P.ID, p.Q.ID)
+		}
+	}
+}
+
+func TestParallelStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	ps := randomPoints(rng, 250)
+	qs := randomPoints(rng, 250)
+	pool := buffer.NewPool(64) // bounded pool exercises concurrent eviction
+	tp := buildTree(t, ps, pool, 1, true)
+	tq := buildTree(t, qs, pool, 2, true)
+	var streamed atomic.Int64
+	_, stats, err := Join(tq, tp, Options{
+		Algorithm:   AlgOBJ,
+		Parallelism: 4,
+		OnPair:      func(Pair) { streamed.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Load() != stats.Results {
+		t.Errorf("streamed %d, stats %d", streamed.Load(), stats.Results)
+	}
+	seq, _, err := Join(tq, tp, Options{Algorithm: AlgOBJ, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(seq)) != stats.Results {
+		t.Errorf("parallel found %d, sequential %d", stats.Results, len(seq))
+	}
+}
+
+func TestParallelWithSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	ps := randomPoints(rng, 500)
+	qs := randomPoints(rng, 500)
+	pool := buffer.NewPool(-1)
+	tp := buildTree(t, ps, pool, 1, true)
+	tq := buildTree(t, qs, pool, 2, true)
+	seqSample, _, err := Join(tq, tp, Options{Algorithm: AlgOBJ, LeafSampleEvery: 3, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSample, _, err := Join(tq, tp, Options{Algorithm: AlgOBJ, LeafSampleEvery: 3, Parallelism: 3, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffPairs(t, "sampled-parallel", seqSample, parSample)
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// This file implements the verification step (Algorithm 3): a set of
+// candidate circles is checked concurrently against an R-tree, removing every
+// circle that covers an indexed point other than its own defining pair.
+// Node entries are matched to circles in the four cases of Section 3.2:
+//
+//	point inside circle      → circle removed
+//	disjoint entry           → subtree skipped for that circle
+//	intersecting entry       → subtree descended
+//	entry face inside circle → circle removed without descending (the MBR
+//	                           property guarantees a covered point below)
+//
+// The face rule here uses the *strict* interior: the guaranteed point on a
+// strictly-inside face is strictly inside the circle and therefore cannot be
+// either defining point (those lie on the boundary), so the removal never
+// needs the exclusion check a descent would perform.
+
+// candidate is one filtered pair undergoing verification. The excluded id is
+// side-dependent: P and Q have independent ID namespaces, so verification
+// against TQ must ignore the pair's Q point and verification against TP its
+// P point (both, for self-joins, where the namespaces coincide).
+type candidate struct {
+	pair  Pair
+	alive bool
+}
+
+// side tells the verifier which tree it is scanning, selecting the ids to
+// exclude.
+type side int
+
+const (
+	sideQ side = iota
+	sideP
+)
+
+// excludedIDs returns the point ids the verifier must ignore for this
+// candidate on the given side.
+func (j *joiner) excludedIDs(c *candidate, s side) (int64, int64) {
+	if j.opts.SelfJoin {
+		return c.pair.P.ID, c.pair.Q.ID
+	}
+	if s == sideQ {
+		return c.pair.Q.ID, c.pair.Q.ID
+	}
+	return c.pair.P.ID, c.pair.P.ID
+}
+
+// sweepThreshold is the work size (entries × circles) above which the
+// verifier batches the entry/circle intersection tests with a plane sweep,
+// as Section 3.2 suggests, instead of the nested loop.
+const sweepThreshold = 256
+
+// verify runs Algorithm 3 for all alive candidates against tree t, marking
+// killed candidates dead. Candidates whose circles were already removed are
+// skipped for free.
+func (j *joiner) verify(t SpatialIndex, cands []*candidate, s side) error {
+	if t.Root() == storage.InvalidPageID {
+		return nil
+	}
+	live := cands[:0:0]
+	for _, c := range cands {
+		if c.alive {
+			live = append(live, c)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	return j.verifyNode(t, t.Root(), live, s)
+}
+
+// verifyNode processes one node: leaf entries kill covering circles;
+// non-leaf entries kill circles containing one of their faces, and the
+// subtree is descended with the subset of circles intersecting its MBR.
+func (j *joiner) verifyNode(t SpatialIndex, page storage.PageID, cands []*candidate, s side) error {
+	n, err := t.ReadNode(page)
+	if err != nil {
+		return err
+	}
+	j.stats.VerifiedNodes++
+	if n.Leaf {
+		for _, c := range cands {
+			if !c.alive {
+				continue
+			}
+			ex1, ex2 := j.excludedIDs(c, s)
+			for _, e := range n.Points {
+				if e.ID != ex1 && e.ID != ex2 && c.pair.Circle.Covers(e.P) {
+					c.alive = false
+					break
+				}
+			}
+		}
+		return nil
+	}
+
+	// Match child entries to the circles intersecting them, via plane sweep
+	// when the cross product is large.
+	matches := j.matchEntries(n, cands)
+	for i, e := range n.Children {
+		sub := matches[i]
+		if len(sub) == 0 {
+			continue
+		}
+		if !j.opts.DisableFaceRule {
+			for _, c := range sub {
+				if c.alive && containsFaceStrict(c.pair.Circle, e.MBR) {
+					c.alive = false
+				}
+			}
+		}
+		// Keep only the still-alive circles for the descent.
+		descend := sub[:0]
+		for _, c := range sub {
+			if c.alive {
+				descend = append(descend, c)
+			}
+		}
+		if len(descend) == 0 {
+			continue
+		}
+		if err := j.verifyNode(t, e.Child, descend, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// matchEntries returns, per child entry of n, the alive candidates whose
+// circles intersect the entry MBR.
+func (j *joiner) matchEntries(n *rtree.Node, cands []*candidate) [][]*candidate {
+	matches := make([][]*candidate, len(n.Children))
+	if len(n.Children)*len(cands) >= sweepThreshold {
+		rects := make([]geom.Rect, len(n.Children))
+		for i, e := range n.Children {
+			rects[i] = e.MBR
+		}
+		circles := make([]geom.Circle, 0, len(cands))
+		liveIdx := make([]int, 0, len(cands))
+		for i, c := range cands {
+			if c.alive {
+				circles = append(circles, c.pair.Circle)
+				liveIdx = append(liveIdx, i)
+			}
+		}
+		for _, hit := range geom.RectCircleSweep(rects, circles) {
+			matches[hit.RectIdx] = append(matches[hit.RectIdx], cands[liveIdx[hit.CircleIdx]])
+		}
+		return matches
+	}
+	for i, e := range n.Children {
+		for _, c := range cands {
+			if c.alive && c.pair.Circle.IntersectsRect(e.MBR) {
+				matches[i] = append(matches[i], c)
+			}
+		}
+	}
+	return matches
+}
+
+// containsFaceStrict reports whether some face of r lies strictly inside c.
+// See the package comment above for why the strict form is required.
+func containsFaceStrict(c geom.Circle, r geom.Rect) bool {
+	corners := r.Corners()
+	in := [4]bool{}
+	for i, pt := range corners {
+		in[i] = c.StrictlyInside(pt)
+	}
+	for i := 0; i < 4; i++ {
+		if in[i] && in[(i+1)%4] {
+			return true
+		}
+	}
+	return false
+}

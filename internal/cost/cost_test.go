@@ -1,0 +1,85 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+func TestBreakdownTotalsAndString(t *testing.T) {
+	b := Breakdown{IOTime: 30 * time.Millisecond, CPUTime: 20 * time.Millisecond, Faults: 3, NodeAccesses: 10}
+	if b.Total() != 50*time.Millisecond {
+		t.Fatalf("total %v", b.Total())
+	}
+	s := b.String()
+	for _, want := range []string{"total=50ms", "io=30ms", "cpu=20ms", "faults=3", "accesses=10"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestMeterConvertsFaults(t *testing.T) {
+	pool := buffer.NewPool(1)
+	k1 := buffer.Key{Owner: 1, Page: storage.PageID(1)}
+	k2 := buffer.Key{Owner: 1, Page: storage.PageID(2)}
+	load := func() (any, error) { return 0, nil }
+
+	// Warm one page, then meter a trace with a known fault pattern.
+	pool.Get(k1, load)
+	m := NewMeter(pool)
+	pool.Get(k1, load) // hit
+	pool.Get(k2, load) // miss (evicts k1)
+	pool.Get(k1, load) // miss again
+	b := m.Stop()
+	if b.Faults != 2 {
+		t.Fatalf("faults %d, want 2", b.Faults)
+	}
+	if b.NodeAccesses != 3 {
+		t.Fatalf("accesses %d, want 3", b.NodeAccesses)
+	}
+	if b.IOTime != 2*PageFaultCost {
+		t.Fatalf("io time %v, want %v", b.IOTime, 2*PageFaultCost)
+	}
+	if b.CPUTime <= 0 {
+		t.Fatalf("cpu time %v", b.CPUTime)
+	}
+}
+
+func TestMeterIsolation(t *testing.T) {
+	pool := buffer.NewPool(-1)
+	load := func() (any, error) { return 0, nil }
+	// Prior activity must not leak into a fresh meter.
+	for i := 0; i < 10; i++ {
+		pool.Get(buffer.Key{Owner: 1, Page: storage.PageID(i)}, load)
+	}
+	m := NewMeter(pool)
+	b := m.Stop()
+	if b.Faults != 0 || b.NodeAccesses != 0 {
+		t.Fatalf("fresh meter saw prior activity: %+v", b)
+	}
+}
+
+func TestExpectedUniformResultSize(t *testing.T) {
+	// Equal sizes: E = 2n (the paper's linear growth, Figure 16).
+	if got := ExpectedUniformResultSize(1000, 1000); got != 2000 {
+		t.Fatalf("E(1000,1000)=%g, want 2000", got)
+	}
+	// Fixed total: maximized at the balanced split (Figure 17).
+	balanced := ExpectedUniformResultSize(200, 200)
+	for _, split := range [][2]int{{80, 320}, {133, 267}, {320, 80}} {
+		if e := ExpectedUniformResultSize(split[0], split[1]); e >= balanced {
+			t.Fatalf("E(%d,%d)=%g >= balanced %g", split[0], split[1], e, balanced)
+		}
+	}
+	// Symmetry and edge cases.
+	if ExpectedUniformResultSize(3, 7) != ExpectedUniformResultSize(7, 3) {
+		t.Fatal("asymmetric")
+	}
+	if ExpectedUniformResultSize(0, 10) != 0 || ExpectedUniformResultSize(-1, 10) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}

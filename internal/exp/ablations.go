@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"fmt"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// AblationRow is one variant measurement of an ablation study.
+type AblationRow struct {
+	Study   string
+	Variant string
+	Cost    cost.Breakdown
+	Detail  string
+}
+
+// Ablations runs the design-choice studies DESIGN.md calls out, each
+// isolating one mechanism of the paper's algorithms:
+//
+//   - search order: depth-first vs random TQ leaf order (Section 3.4)
+//   - symmetric pruning: BIJ vs OBJ candidate counts (Lemma 5)
+//   - face rule: verification with and without the face-inside-circle
+//     shortcut (Algorithm 3 case 4)
+//   - no buffer: the 1% buffer against none at all
+//   - build method: STR bulk load vs R* insertion (index construction)
+func Ablations(cfg Config) ([]AblationRow, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.scaled(200_000)
+	env, err := NewEnv(workload.Uniform(n, 1), workload.Uniform(n, 2), cfg.BufferFrac, cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	add := func(study, variant string, res RunResult, detail string) {
+		rows = append(rows, AblationRow{Study: study, Variant: variant, Cost: res.Cost, Detail: detail})
+	}
+
+	// Search order (Section 3.4): locality of depth-first traversal.
+	df, err := env.Run(core.Options{Algorithm: core.AlgOBJ})
+	if err != nil {
+		return nil, err
+	}
+	add("search-order", "depth-first", df, fmt.Sprintf("faults=%d", df.Cost.Faults))
+	rnd, err := env.Run(core.Options{Algorithm: core.AlgOBJ, RandomLeafOrder: true, Seed: 42})
+	if err != nil {
+		return nil, err
+	}
+	add("search-order", "random", rnd, fmt.Sprintf("faults=%d", rnd.Cost.Faults))
+
+	// Symmetric pruning (Lemma 5): candidate counts.
+	bij, err := env.Run(core.Options{Algorithm: core.AlgBIJ})
+	if err != nil {
+		return nil, err
+	}
+	add("symmetric-pruning", "off (BIJ)", bij, fmt.Sprintf("candidates=%d", bij.Stats.Candidates))
+	obj, err := env.Run(core.Options{Algorithm: core.AlgOBJ})
+	if err != nil {
+		return nil, err
+	}
+	add("symmetric-pruning", "on (OBJ)", obj, fmt.Sprintf("candidates=%d", obj.Stats.Candidates))
+
+	// Face rule (Algorithm 3 case 4): verification node visits.
+	faceOn, err := env.Run(core.Options{Algorithm: core.AlgOBJ})
+	if err != nil {
+		return nil, err
+	}
+	add("face-rule", "on", faceOn, fmt.Sprintf("verify-visits=%d", faceOn.Stats.VerifiedNodes))
+	faceOff, err := env.Run(core.Options{Algorithm: core.AlgOBJ, DisableFaceRule: true})
+	if err != nil {
+		return nil, err
+	}
+	add("face-rule", "off", faceOff, fmt.Sprintf("verify-visits=%d", faceOff.Stats.VerifiedNodes))
+
+	// Buffering: the paper's 1% buffer vs none.
+	env.SetBufferFrac(cfg.BufferFrac)
+	buffered, err := env.Run(core.Options{Algorithm: core.AlgOBJ})
+	if err != nil {
+		return nil, err
+	}
+	add("buffer", fmt.Sprintf("%.1f%%", cfg.BufferFrac*100), buffered, fmt.Sprintf("faults=%d", buffered.Cost.Faults))
+	env.Pool.Resize(0)
+	unbuffered, err := env.Run(core.Options{Algorithm: core.AlgOBJ})
+	if err != nil {
+		return nil, err
+	}
+	env.SetBufferFrac(cfg.BufferFrac)
+	add("buffer", "none", unbuffered, fmt.Sprintf("faults=%d", unbuffered.Cost.Faults))
+
+	// Build method: STR bulk load vs R* one-by-one insertion.
+	buildPts := workload.Uniform(cfg.scaled(100_000), 3)
+	for _, variant := range []string{"str-bulk", "rstar-insert"} {
+		pager := storage.NewMemPager(cfg.PageSize)
+		pool := buffer.NewPool(-1)
+		tree, err := rtree.New(pager, pool, rtree.Config{PageSize: cfg.PageSize})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if variant == "str-bulk" {
+			err = tree.BulkLoad(buildPts, 0)
+		} else {
+			for _, p := range buildPts {
+				if err = tree.Insert(p.P, p.ID); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		rows = append(rows, AblationRow{
+			Study:   "build-method",
+			Variant: variant,
+			Cost:    cost.Breakdown{CPUTime: elapsed},
+			Detail:  fmt.Sprintf("pages=%d height=%d", tree.NumPages(), tree.Height()),
+		})
+	}
+
+	// Split policy: the paper's R* split vs Guttman's linear split. Both
+	// insert-built trees then serve the same join; the poorer index shows
+	// up as extra faults.
+	splitN := cfg.scaled(50_000)
+	splitP := workload.Uniform(splitN, 4)
+	splitQ := workload.Uniform(splitN, 5)
+	for _, pol := range []struct {
+		name   string
+		policy rtree.SplitPolicy
+	}{{"rstar-split", rtree.SplitRStar}, {"linear-split", rtree.SplitLinear}} {
+		pool := buffer.NewPool(-1)
+		build := func(pts []rtree.PointEntry, owner uint32) (*rtree.Tree, error) {
+			tr, err := rtree.New(storage.NewMemPager(cfg.PageSize), pool,
+				rtree.Config{PageSize: cfg.PageSize, Owner: owner, SplitPolicy: pol.policy})
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pts {
+				if err := tr.Insert(p.P, p.ID); err != nil {
+					return nil, err
+				}
+			}
+			return tr, nil
+		}
+		tq, err := build(splitQ, 1)
+		if err != nil {
+			return nil, err
+		}
+		tp, err := build(splitP, 2)
+		if err != nil {
+			return nil, err
+		}
+		splitEnv := &Env{Pool: pool, TQ: tq, TP: tp}
+		splitEnv.SetBufferFrac(cfg.BufferFrac)
+		res, err := splitEnv.Run(core.Options{Algorithm: core.AlgOBJ})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Study:   "split-policy",
+			Variant: pol.name,
+			Cost:    res.Cost,
+			Detail:  fmt.Sprintf("faults=%d pages=%d", res.Cost.Faults, tq.NumPages()+tp.NumPages()),
+		})
+	}
+
+	printAblations(cfg, rows)
+	return rows, nil
+}
+
+func printAblations(cfg Config, rows []AblationRow) {
+	fmt.Fprintf(cfg.W, "Ablation studies (DESIGN.md §5), scale=%.3g\n", cfg.Scale)
+	tw := tabwriter.NewWriter(cfg.W, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "study\tvariant\ttotal\tio\tcpu\tdetail\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n", r.Study, r.Variant,
+			fmtDuration(r.Cost.Total()), fmtDuration(r.Cost.IOTime), fmtDuration(r.Cost.CPUTime), r.Detail)
+	}
+	tw.Flush()
+	fmt.Fprintln(cfg.W)
+}

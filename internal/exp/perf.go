@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/workload"
+)
+
+// rcjAlgorithms are the three index algorithms every performance chart
+// compares.
+var rcjAlgorithms = []core.Algorithm{core.AlgINJ, core.AlgBIJ, core.AlgOBJ}
+
+// Fig13Row is one bar of Figure 13: the cost decomposition of one algorithm
+// on one join combination.
+type Fig13Row struct {
+	Combo     string
+	Algorithm core.Algorithm
+	Cost      cost.Breakdown
+	Results   int64
+}
+
+// Fig13 regenerates Figure 13 ("The Effect of Join Combination, Real Data"):
+// INJ, BIJ and OBJ on the four combinations of Table 3 with the default 1%
+// buffer, decomposed into I/O and CPU time.
+func Fig13(cfg Config) ([]Fig13Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Fig13Row
+	for _, cb := range Combos {
+		env, err := cfg.NewComboEnv(cb)
+		if err != nil {
+			return nil, err
+		}
+		for _, alg := range rcjAlgorithms {
+			res, err := env.Run(core.Options{Algorithm: alg})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig13Row{Combo: cb.Name, Algorithm: alg, Cost: res.Cost, Results: res.Stats.Results})
+		}
+	}
+	printCostRows(cfg, "Figure 13: The Effect of Join Combination, Real(-like) Data",
+		"combination", func(r Fig13Row) string { return r.Combo }, rows)
+	return rows, nil
+}
+
+// Fig14Row is one bar pair of Figure 14: an algorithm's cost with and
+// without the verification step.
+type Fig14Row struct {
+	Algorithm           core.Algorithm
+	WithVerification    cost.Breakdown
+	WithoutVerification cost.Breakdown
+}
+
+// Fig14 regenerates Figure 14 ("The Cost of RCJ Algorithms, with vs without
+// verification", |P| = |Q| = 200K UI data): the small gap between the
+// columns shows the verification step contributes a minor share of the total
+// cost.
+func Fig14(cfg Config) ([]Fig14Row, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.scaled(200_000)
+	env, err := NewEnv(workload.Uniform(n, 1), workload.Uniform(n, 2), cfg.BufferFrac, cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig14Row
+	for _, alg := range rcjAlgorithms {
+		with, err := env.Run(core.Options{Algorithm: alg})
+		if err != nil {
+			return nil, err
+		}
+		without, err := env.Run(core.Options{Algorithm: alg, SkipVerification: true})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig14Row{Algorithm: alg, WithVerification: with.Cost, WithoutVerification: without.Cost})
+	}
+	fmt.Fprintf(cfg.W, "Figure 14: Cost with vs without Verification, |P|=|Q|=%d, UI data (scale=%.3g)\n", n, cfg.Scale)
+	tw := tabwriter.NewWriter(cfg.W, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "algorithm\twith: total\tio\tcpu\twithout: total\tio\tcpu\tverify share\n")
+	for _, r := range rows {
+		share := 0.0
+		if t := r.WithVerification.Total(); t > 0 {
+			share = 100 * float64(t-r.WithoutVerification.Total()) / float64(t)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%.1f%%\n", r.Algorithm,
+			fmtDuration(r.WithVerification.Total()), fmtDuration(r.WithVerification.IOTime), fmtDuration(r.WithVerification.CPUTime),
+			fmtDuration(r.WithoutVerification.Total()), fmtDuration(r.WithoutVerification.IOTime), fmtDuration(r.WithoutVerification.CPUTime),
+			share)
+	}
+	tw.Flush()
+	fmt.Fprintln(cfg.W)
+	return rows, nil
+}
+
+// Fig15Row is one bar group of Figure 15: algorithm costs at one buffer
+// size.
+type Fig15Row struct {
+	BufferFrac float64
+	Algorithm  core.Algorithm
+	Cost       cost.Breakdown
+}
+
+// Fig15 regenerates Figure 15 ("The Effect of Buffer Size", |P| = |Q| = 200K
+// UI data): the buffer sweeps {0.2, 0.5, 1, 2, 5}% of the summed tree sizes.
+func Fig15(cfg Config) ([]Fig15Row, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.scaled(200_000)
+	env, err := NewEnv(workload.Uniform(n, 1), workload.Uniform(n, 2), cfg.BufferFrac, cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	fracs := []float64{0.002, 0.005, 0.01, 0.02, 0.05}
+	var rows []Fig15Row
+	for _, f := range fracs {
+		env.SetBufferFrac(f)
+		for _, alg := range rcjAlgorithms {
+			res, err := env.Run(core.Options{Algorithm: alg})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig15Row{BufferFrac: f, Algorithm: alg, Cost: res.Cost})
+		}
+	}
+	fmt.Fprintf(cfg.W, "Figure 15: The Effect of Buffer Size, |P|=|Q|=%d, UI data (scale=%.3g)\n", n, cfg.Scale)
+	tw := tabwriter.NewWriter(cfg.W, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "buffer(%%)\talgorithm\ttotal\tio\tcpu\tfaults\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.1f\t%s\t%s\t%s\t%s\t%d\n", r.BufferFrac*100, r.Algorithm,
+			fmtDuration(r.Cost.Total()), fmtDuration(r.Cost.IOTime), fmtDuration(r.Cost.CPUTime), r.Cost.Faults)
+	}
+	tw.Flush()
+	fmt.Fprintln(cfg.W)
+	return rows, nil
+}
+
+// printCostRows renders a Figure 13-style cost table.
+func printCostRows(cfg Config, title, groupLabel string, group func(Fig13Row) string, rows []Fig13Row) {
+	fmt.Fprintf(cfg.W, "%s (scale=%.3g)\n", title, cfg.Scale)
+	tw := tabwriter.NewWriter(cfg.W, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\talgorithm\ttotal\tio\tcpu\tfaults\tresults\n", groupLabel)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d\n", group(r), r.Algorithm,
+			fmtDuration(r.Cost.Total()), fmtDuration(r.Cost.IOTime), fmtDuration(r.Cost.CPUTime),
+			r.Cost.Faults, r.Results)
+	}
+	tw.Flush()
+	fmt.Fprintln(cfg.W)
+}

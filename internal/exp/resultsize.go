@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/rtree"
+	"repro/internal/workload"
+)
+
+// This file implements the paper's second future-work direction: studying
+// the RCJ result cardinality under extreme ("worst possible") data
+// distributions. The paper observes empirically that the result size is
+// linear in the input size; this experiment measures the ratio
+// |RCJ| / (|P| + |Q|) across structurally adversarial inputs — lattices,
+// collinear points, co-circular points, and far-apart cluster pairs — and
+// across input sizes, exposing where the constant factor peaks.
+
+// ResultSizeRow is one measurement of the result-size study.
+type ResultSizeRow struct {
+	Distribution string
+	N            int   // points per input
+	Results      int64 // |RCJ|
+	Ratio        float64
+	// Predicted is the closed-form Poisson expectation
+	// cost.ExpectedUniformResultSize (meaningful for the uniform rows; the
+	// other distributions show how far structure bends it).
+	Predicted float64
+}
+
+// ResultSize measures |RCJ| / (|P| + |Q|) across distributions and sizes.
+func ResultSize(cfg Config) ([]ResultSizeRow, error) {
+	cfg = cfg.withDefaults()
+	sizes := []int{cfg.scaled(20_000), cfg.scaled(50_000)}
+	gens := []struct {
+		name string
+		gen  func(n int, seed int64) []rtree.PointEntry
+	}{
+		{"uniform", func(n int, seed int64) []rtree.PointEntry { return workload.Uniform(n, seed) }},
+		{"gaussian-w10", func(n int, seed int64) []rtree.PointEntry { return workload.GaussianClusters(n, 10, 1000, seed) }},
+		{"grid", func(n int, _ int64) []rtree.PointEntry { return workload.Grid(n) }},
+		{"collinear", func(n int, seed int64) []rtree.PointEntry { return workload.Collinear(n, 0, seed) }},
+		{"collinear-jitter", func(n int, seed int64) []rtree.PointEntry { return workload.Collinear(n, 5, seed) }},
+		{"circle", func(n int, seed int64) []rtree.PointEntry { return workload.OnCircle(n, 0.3, seed) }},
+		{"two-clusters", func(n int, seed int64) []rtree.PointEntry { return workload.TwoDistantClusters(n, 200, seed) }},
+	}
+	var rows []ResultSizeRow
+	for _, g := range gens {
+		for _, n := range sizes {
+			ps := g.gen(n, 1)
+			qs := g.gen(n, 2)
+			// Distinct seeds give distinct-but-same-shaped inputs; for the
+			// deterministic grid both sides coincide geometrically, which is
+			// itself an interesting extreme (every point of P sits on a
+			// point of Q).
+			env, err := NewEnv(qs, ps, cfg.BufferFrac, cfg.PageSize)
+			if err != nil {
+				return nil, err
+			}
+			res, err := env.Run(core.Options{Algorithm: core.AlgOBJ})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ResultSizeRow{
+				Distribution: g.name,
+				N:            n,
+				Results:      res.Stats.Results,
+				Ratio:        float64(res.Stats.Results) / float64(2*n),
+				Predicted:    cost.ExpectedUniformResultSize(n, n),
+			})
+		}
+	}
+	printResultSize(cfg, rows)
+	return rows, nil
+}
+
+func printResultSize(cfg Config, rows []ResultSizeRow) {
+	fmt.Fprintf(cfg.W, "Result-size study (future work §6): |RCJ| / (|P|+|Q|) across distributions (scale=%.3g)\n", cfg.Scale)
+	fmt.Fprintln(cfg.W, "Poisson model: E|RCJ| = 4·|P|·|Q|/(|P|+|Q|)  (= 2n here), exact for uniform inputs up to boundary effects")
+	tw := tabwriter.NewWriter(cfg.W, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "distribution\tn per side\t|RCJ|\tratio\tmodel E|RCJ|\tmeasured/model\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%.0f\t%.3f\n", r.Distribution, r.N, r.Results, r.Ratio,
+			r.Predicted, float64(r.Results)/r.Predicted)
+	}
+	tw.Flush()
+	fmt.Fprintln(cfg.W)
+}

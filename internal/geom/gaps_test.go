@@ -1,0 +1,93 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPointEqual(t *testing.T) {
+	a := Point{1, 2}
+	if !a.Equal(Point{1, 2}) || a.Equal(Point{1, 2.0001}) {
+		t.Fatal("Equal is wrong")
+	}
+}
+
+func TestRectConstructorsAndValidity(t *testing.T) {
+	p := Point{3, 4}
+	r := RectFromPoint(p)
+	if r != (Rect{3, 4, 3, 4}) || !r.Valid() || r.IsEmpty() {
+		t.Fatalf("RectFromPoint: %+v", r)
+	}
+	if got := r.ExtendPoint(Point{5, 2}); got != (Rect{3, 2, 5, 4}) {
+		t.Fatalf("ExtendPoint: %+v", got)
+	}
+	if EmptyRect().Valid() {
+		t.Fatal("empty rect must be invalid")
+	}
+	if (Rect{MinX: math.NaN(), MaxX: 1, MaxY: 1}).Valid() {
+		t.Fatal("NaN rect must be invalid")
+	}
+	if (Rect{0, 0, math.Inf(1), 1}).Valid() {
+		t.Fatal("infinite rect must be invalid")
+	}
+}
+
+func TestRectMinDistAndEnlargement(t *testing.T) {
+	r := Rect{0, 0, 2, 2}
+	if got := r.MinDist(Point{5, 6}); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("MinDist %g, want 5", got)
+	}
+	if got := r.Enlargement(Rect{0, 0, 4, 2}); got != 4 {
+		t.Fatalf("Enlargement %g, want 4", got)
+	}
+	if got := r.Enlargement(Rect{1, 1, 2, 2}); got != 0 {
+		t.Fatalf("contained enlargement %g, want 0", got)
+	}
+}
+
+func TestPsiMinusContainsRectHelper(t *testing.T) {
+	q := Point{0, 0}
+	p := Point{10, 0}
+	// Rect entirely beyond L(q,p) (x=10).
+	if !PsiMinusContainsRect(q, p, Rect{11, -5, 20, 5}) {
+		t.Fatal("rect beyond the line must be contained")
+	}
+	if PsiMinusContainsRect(q, p, Rect{5, -5, 20, 5}) {
+		t.Fatal("straddling rect must not be contained")
+	}
+}
+
+func TestCircleDiameter(t *testing.T) {
+	c := Circle{Radius: 2.5}
+	if c.Diameter() != 5 {
+		t.Fatalf("Diameter %g", c.Diameter())
+	}
+}
+
+func TestL1CircleContainsFace(t *testing.T) {
+	c := L1Circle{Center: Point{5, 5}, Radius: 4}
+	// Left face of this rect (from (4,4) to (4,6)) is inside the diamond.
+	if !c.ContainsFace(Rect{4, 4, 30, 6}) {
+		t.Fatal("left face lies inside the L1 ball")
+	}
+	if c.ContainsFace(Rect{20, 20, 30, 30}) {
+		t.Fatal("distant rect has no face inside")
+	}
+	// A rect whose corners all poke out (diamond inscribed): corners of the
+	// bounding square of the diamond are outside it.
+	if c.ContainsFace(Rect{1, 1, 9, 9}) {
+		t.Fatal("bounding-square corners are outside the diamond")
+	}
+}
+
+func TestStrictPrunerSetAdd(t *testing.T) {
+	var s PrunerSet
+	q := Point{0, 0}
+	s.AddStrict(q, Point{10, 0})
+	if s.PrunesPoint(Point{10, 3}) {
+		t.Fatal("strict set must exclude the boundary")
+	}
+	if !s.PrunesPoint(Point{11, 0}) {
+		t.Fatal("strict set must include the open side")
+	}
+}

@@ -1,0 +1,57 @@
+package joins
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+func benchTrees(b *testing.B, n int) (*rtree.Tree, *rtree.Tree) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	mk := func(owner uint32) *rtree.Tree {
+		pager := storage.NewMemPager(storage.DefaultPageSize)
+		tr, err := rtree.New(pager, buffer.NewPool(-1), rtree.Config{Owner: owner})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.BulkLoad(randomPoints(rng, n), 0); err != nil {
+			b.Fatal(err)
+		}
+		return tr
+	}
+	return mk(1), mk(2)
+}
+
+func BenchmarkEpsilonJoin(b *testing.B) {
+	tp, tq := benchTrees(b, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EpsilonJoinStream(tp, tq, 15, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKClosestPairs1000(b *testing.B) {
+	tp, tq := benchTrees(b, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := KClosestPairsStream(tp, tq, 1000, func(Pair) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKNNJoin5(b *testing.B) {
+	tp, tq := benchTrees(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := KNNJoinStream(tp, tq, 5, func(Pair) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

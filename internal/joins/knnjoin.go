@@ -1,0 +1,45 @@
+package joins
+
+import (
+	"math"
+
+	"repro/internal/rtree"
+)
+
+// KNNJoin computes the k-nearest-neighbor join of the pointsets indexed by
+// tp and tq: for every p ∈ P, the pairs <p, q> where q is one of the k
+// nearest neighbors of p in Q. The result has exactly k·|P| pairs (fewer if
+// |Q| < k) and is asymmetric — swapping the inputs changes the answer, as
+// Table 1 of the paper notes.
+//
+// Each outer point runs an incremental-NN scan on tq; outer points are
+// visited in depth-first leaf order so consecutive scans share tree paths.
+func KNNJoin(tp, tq *rtree.Tree, k int) ([]Pair, error) {
+	var out []Pair
+	err := KNNJoinStream(tp, tq, k, func(p Pair) { out = append(out, p) })
+	return out, err
+}
+
+// KNNJoinStream streams the kNN-join pairs into fn, grouped by outer point
+// with each group in nondecreasing distance order.
+func KNNJoinStream(tp, tq *rtree.Tree, k int, fn func(Pair)) error {
+	if k <= 0 {
+		return nil
+	}
+	return tp.VisitLeaves(func(n *rtree.Node) error {
+		for _, p := range n.Points {
+			it := tq.NewINNIterator(p.P)
+			for i := 0; i < k; i++ {
+				q, d2, ok := it.Next()
+				if !ok {
+					if err := it.Err(); err != nil {
+						return err
+					}
+					break
+				}
+				fn(Pair{P: p, Q: q, Dist: math.Sqrt(d2)})
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,344 @@
+// Package quadtree implements a disk-paged bucket PR-quadtree over 2D
+// points: the alternative hierarchical spatial index the paper names when
+// noting its methodology "is directly applicable to other hierarchical
+// spatial indexes (e.g., point quad-tree)" (Section 3).
+//
+// The tree recursively splits space into four quadrants until a cell's
+// points fit one page-sized bucket. Nodes reuse the R-tree page layout
+// (rtree.Node): internal entries carry the tight bounding rectangle of their
+// quadrant's contents, so every pruning argument of the join algorithms —
+// all phrased over MBRs — applies unchanged, and quadtree-indexed datasets
+// plug straight into core.Join via the core.SpatialIndex interface.
+package quadtree
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// maxDepth bounds subdivision so coincident points terminate; beyond it,
+// points are packed into leaf chains regardless of bucket occupancy.
+const maxDepth = 48
+
+// Config controls quadtree construction.
+type Config struct {
+	// PageSize is the on-disk page size in bytes (default 1024).
+	PageSize int
+	// Owner tags this tree's pages in a shared buffer pool.
+	Owner uint32
+}
+
+// Tree is a static disk-paged bucket PR-quadtree. Build it once with Build;
+// it then serves the read-only traversal contract of core.SpatialIndex.
+type Tree struct {
+	pager   storage.Pager
+	pool    *buffer.Pool
+	cfg     Config
+	root    storage.PageID
+	size    int
+	height  int
+	bucket  int // leaf capacity
+	fan     int // internal capacity (for overflow chains; quadrant fan is 4)
+	pageBuf []byte
+}
+
+// Build constructs the quadtree over the given points.
+func Build(pager storage.Pager, pool *buffer.Pool, cfg Config, points []rtree.PointEntry) (*Tree, error) {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = storage.DefaultPageSize
+	}
+	if pager.PageSize() != cfg.PageSize {
+		return nil, fmt.Errorf("quadtree: pager page size %d != config %d", pager.PageSize(), cfg.PageSize)
+	}
+	t := &Tree{
+		pager:   pager,
+		pool:    pool,
+		cfg:     cfg,
+		root:    storage.InvalidPageID,
+		bucket:  rtree.LeafCapacity(cfg.PageSize),
+		fan:     rtree.InternalCapacity(cfg.PageSize),
+		pageBuf: make([]byte, cfg.PageSize),
+	}
+	if t.bucket < 2 || t.fan < 4 {
+		return nil, fmt.Errorf("quadtree: page size %d too small", cfg.PageSize)
+	}
+	if len(points) == 0 {
+		return t, nil
+	}
+	world := geom.EmptyRect()
+	for _, p := range points {
+		world = world.ExtendPoint(p.P)
+	}
+	pts := make([]rtree.PointEntry, len(points))
+	copy(pts, points)
+	entry, height, err := t.build(pts, world, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = entry.Child
+	t.height = height
+	t.size = len(points)
+	return t, nil
+}
+
+// build recursively constructs the subtree for the points inside cell,
+// returning the child entry describing it (with tight MBR) and its height.
+func (t *Tree) build(pts []rtree.PointEntry, cell geom.Rect, depth int) (rtree.ChildEntry, int, error) {
+	if len(pts) <= t.bucket {
+		return t.writeLeaf(pts)
+	}
+	if depth >= maxDepth {
+		// Coincident (or near-coincident) points: subdivision cannot make
+		// progress; pack into a chain of leaves under internal nodes.
+		return t.packOverflow(pts)
+	}
+	c := cell.Center()
+	quadCells := [4]geom.Rect{
+		{MinX: cell.MinX, MinY: cell.MinY, MaxX: c.X, MaxY: c.Y}, // SW
+		{MinX: c.X, MinY: cell.MinY, MaxX: cell.MaxX, MaxY: c.Y}, // SE
+		{MinX: cell.MinX, MinY: c.Y, MaxX: c.X, MaxY: cell.MaxY}, // NW
+		{MinX: c.X, MinY: c.Y, MaxX: cell.MaxX, MaxY: cell.MaxY}, // NE
+	}
+	var quads [4][]rtree.PointEntry
+	for _, p := range pts {
+		i := 0
+		if p.P.X >= c.X {
+			i |= 1
+		}
+		if p.P.Y >= c.Y {
+			i |= 2
+		}
+		quads[i] = append(quads[i], p)
+	}
+	var children []rtree.ChildEntry
+	maxH := 0
+	for i, q := range quads {
+		if len(q) == 0 {
+			continue
+		}
+		entry, h, err := t.build(q, quadCells[i], depth+1)
+		if err != nil {
+			return rtree.ChildEntry{}, 0, err
+		}
+		children = append(children, entry)
+		if h > maxH {
+			maxH = h
+		}
+	}
+	if len(children) == 1 {
+		// All points in one quadrant: skip the degenerate internal level.
+		return children[0], maxH, nil
+	}
+	return t.writeInternal(children, maxH)
+}
+
+// packOverflow builds a minimal internal hierarchy over leaf chunks of
+// unsplittable points.
+func (t *Tree) packOverflow(pts []rtree.PointEntry) (rtree.ChildEntry, int, error) {
+	var entries []rtree.ChildEntry
+	for start := 0; start < len(pts); start += t.bucket {
+		end := start + t.bucket
+		if end > len(pts) {
+			end = len(pts)
+		}
+		e, _, err := t.writeLeaf(pts[start:end])
+		if err != nil {
+			return rtree.ChildEntry{}, 0, err
+		}
+		entries = append(entries, e)
+	}
+	height := 1
+	for len(entries) > 1 {
+		var next []rtree.ChildEntry
+		for start := 0; start < len(entries); start += t.fan {
+			end := start + t.fan
+			if end > len(entries) {
+				end = len(entries)
+			}
+			e, _, err := t.writeInternal(entries[start:end], height)
+			if err != nil {
+				return rtree.ChildEntry{}, 0, err
+			}
+			next = append(next, e)
+		}
+		entries = next
+		height++
+	}
+	return entries[0], height, nil
+}
+
+func (t *Tree) writeLeaf(pts []rtree.PointEntry) (rtree.ChildEntry, int, error) {
+	n := &rtree.Node{Leaf: true, Points: append([]rtree.PointEntry(nil), pts...)}
+	id, err := t.allocNode(n)
+	if err != nil {
+		return rtree.ChildEntry{}, 0, err
+	}
+	return rtree.ChildEntry{MBR: n.MBR(), Child: id}, 1, nil
+}
+
+func (t *Tree) writeInternal(children []rtree.ChildEntry, childHeight int) (rtree.ChildEntry, int, error) {
+	n := &rtree.Node{Children: append([]rtree.ChildEntry(nil), children...)}
+	id, err := t.allocNode(n)
+	if err != nil {
+		return rtree.ChildEntry{}, 0, err
+	}
+	return rtree.ChildEntry{MBR: n.MBR(), Child: id}, childHeight + 1, nil
+}
+
+func (t *Tree) allocNode(n *rtree.Node) (storage.PageID, error) {
+	id, err := t.pager.Allocate()
+	if err != nil {
+		return storage.InvalidPageID, err
+	}
+	if err := n.Encode(t.pageBuf); err != nil {
+		return storage.InvalidPageID, err
+	}
+	if err := t.pager.WritePage(id, t.pageBuf); err != nil {
+		return storage.InvalidPageID, err
+	}
+	t.pool.Put(buffer.Key{Owner: t.cfg.Owner, Page: id}, n)
+	return id, nil
+}
+
+// Size returns the number of indexed points.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the number of levels on the longest root-to-leaf path.
+func (t *Tree) Height() int { return t.height }
+
+// NumPages returns the number of allocated pages.
+func (t *Tree) NumPages() int { return t.pager.NumPages() }
+
+// Root returns the root page id (storage.InvalidPageID when empty).
+func (t *Tree) Root() storage.PageID { return t.root }
+
+// ReadNode fetches a node through the buffer pool.
+func (t *Tree) ReadNode(id storage.PageID) (*rtree.Node, error) {
+	v, err := t.pool.Get(buffer.Key{Owner: t.cfg.Owner, Page: id}, func() (any, error) {
+		buf := make([]byte, t.cfg.PageSize)
+		if err := t.pager.ReadPage(id, buf); err != nil {
+			return nil, err
+		}
+		return rtree.DecodeNode(buf)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*rtree.Node), nil
+}
+
+// VisitLeaves applies fn to every leaf in depth-first order.
+func (t *Tree) VisitLeaves(fn func(*rtree.Node) error) error {
+	return t.visitRec(t.root, fn)
+}
+
+func (t *Tree) visitRec(id storage.PageID, fn func(*rtree.Node) error) error {
+	if id == storage.InvalidPageID {
+		return nil
+	}
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return err
+	}
+	if n.Leaf {
+		return fn(n)
+	}
+	for _, e := range n.Children {
+		if err := t.visitRec(e.Child, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LeafPages lists all leaf pages in depth-first order.
+func (t *Tree) LeafPages() ([]storage.PageID, error) {
+	var out []storage.PageID
+	err := t.leafPagesRec(t.root, &out)
+	return out, err
+}
+
+func (t *Tree) leafPagesRec(id storage.PageID, out *[]storage.PageID) error {
+	if id == storage.InvalidPageID {
+		return nil
+	}
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return err
+	}
+	if n.Leaf {
+		*out = append(*out, id)
+		return nil
+	}
+	for _, e := range n.Children {
+		if err := t.leafPagesRec(e.Child, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanAll returns every indexed point in leaf order.
+func (t *Tree) ScanAll() ([]rtree.PointEntry, error) {
+	out := make([]rtree.PointEntry, 0, t.size)
+	err := t.VisitLeaves(func(n *rtree.Node) error {
+		out = append(out, n.Points...)
+		return nil
+	})
+	return out, err
+}
+
+// Check verifies structural invariants: entry MBRs contain their subtrees,
+// leaves respect the bucket capacity, and all points are reachable.
+func (t *Tree) Check() error {
+	if t.root == storage.InvalidPageID {
+		if t.size != 0 {
+			return fmt.Errorf("quadtree: empty root with size %d", t.size)
+		}
+		return nil
+	}
+	count, err := t.checkRec(t.root)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("quadtree: reachable points %d != size %d", count, t.size)
+	}
+	return nil
+}
+
+func (t *Tree) checkRec(id storage.PageID) (int, error) {
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return 0, err
+	}
+	if n.Leaf {
+		if len(n.Points) > t.bucket {
+			return 0, fmt.Errorf("quadtree: leaf %d overfull: %d > %d", id, len(n.Points), t.bucket)
+		}
+		return len(n.Points), nil
+	}
+	if len(n.Children) == 0 {
+		return 0, fmt.Errorf("quadtree: internal node %d has no children", id)
+	}
+	total := 0
+	for _, e := range n.Children {
+		child, err := t.ReadNode(e.Child)
+		if err != nil {
+			return 0, err
+		}
+		if got := child.MBR(); !e.MBR.ContainsRect(got) {
+			return 0, fmt.Errorf("quadtree: node %d entry MBR does not contain child %d", id, e.Child)
+		}
+		c, err := t.checkRec(e.Child)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}

@@ -1,0 +1,238 @@
+package quadtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+func buildQuad(t *testing.T, pts []rtree.PointEntry, pool *buffer.Pool, owner uint32) *Tree {
+	t.Helper()
+	if pool == nil {
+		pool = buffer.NewPool(-1)
+	}
+	tr, err := Build(storage.NewMemPager(storage.DefaultPageSize), pool, Config{Owner: owner}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func randomEntries(rng *rand.Rand, n int) []rtree.PointEntry {
+	pts := make([]rtree.PointEntry, n)
+	for i := range pts {
+		pts[i] = rtree.PointEntry{
+			P:  geom.Point{X: rng.Float64() * 10000, Y: rng.Float64() * 10000},
+			ID: int64(i),
+		}
+	}
+	return pts
+}
+
+func TestBuildAndScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 42, 43, 500, 5000} {
+		pts := randomEntries(rng, n)
+		tr := buildQuad(t, pts, nil, 1)
+		if tr.Size() != n {
+			t.Fatalf("n=%d: size %d", n, tr.Size())
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, err := tr.ScanAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: scan %d", n, len(got))
+		}
+		seen := map[int64]bool{}
+		for _, g := range got {
+			if seen[g.ID] {
+				t.Fatalf("duplicate id %d", g.ID)
+			}
+			seen[g.ID] = true
+		}
+	}
+}
+
+func TestDuplicatePointsOverflow(t *testing.T) {
+	// 500 coincident points cannot be separated by subdivision; the
+	// overflow chain must hold them all.
+	pts := make([]rtree.PointEntry, 500)
+	for i := range pts {
+		pts[i] = rtree.PointEntry{P: geom.Point{X: 5, Y: 5}, ID: int64(i)}
+	}
+	tr := buildQuad(t, pts, nil, 1)
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("scan %d", len(got))
+	}
+}
+
+func TestLeafPagesAndVisit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randomEntries(rng, 2000)
+	tr := buildQuad(t, pts, nil, 1)
+	var visited int
+	if err := tr.VisitLeaves(func(n *rtree.Node) error {
+		if !n.Leaf {
+			t.Fatal("non-leaf visited")
+		}
+		visited += len(n.Points)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if visited != len(pts) {
+		t.Fatalf("visited %d", visited)
+	}
+	pages, err := tr.LeafPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) == 0 {
+		t.Fatal("no leaf pages")
+	}
+}
+
+// TestRCJOverQuadtree is the paper's generality claim (Section 3): the join
+// algorithms run unchanged over a point quadtree and produce the identical
+// result set.
+func TestRCJOverQuadtree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := randomEntries(rng, 200)
+	qs := randomEntries(rng, 180)
+
+	want := core.BruteForcePairs(ps, qs, false)
+	wantSet := map[string]bool{}
+	for _, p := range want {
+		wantSet[fmt.Sprintf("%d|%d", p.P.ID, p.Q.ID)] = true
+	}
+
+	pool := buffer.NewPool(-1)
+	tp := buildQuad(t, ps, pool, 1)
+	tq := buildQuad(t, qs, pool, 2)
+
+	for _, alg := range []core.Algorithm{core.AlgBrute, core.AlgINJ, core.AlgBIJ, core.AlgOBJ} {
+		t.Run(alg.String(), func(t *testing.T) {
+			got, _, err := core.Join(tq, tp, core.Options{Algorithm: alg, Collect: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSet := map[string]bool{}
+			for _, p := range got {
+				k := fmt.Sprintf("%d|%d", p.P.ID, p.Q.ID)
+				if gotSet[k] {
+					t.Errorf("duplicate pair %s", k)
+				}
+				gotSet[k] = true
+			}
+			if len(gotSet) != len(wantSet) {
+				t.Errorf("got %d pairs, want %d", len(gotSet), len(wantSet))
+			}
+			for k := range wantSet {
+				if !gotSet[k] {
+					t.Errorf("missing pair %s", k)
+				}
+			}
+			for k := range gotSet {
+				if !wantSet[k] {
+					t.Errorf("extra pair %s", k)
+				}
+			}
+		})
+	}
+}
+
+// TestMixedIndexJoin joins a quadtree-indexed dataset against an
+// R*-tree-indexed one: the interface makes the combination legal.
+func TestMixedIndexJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ps := randomEntries(rng, 150)
+	qs := randomEntries(rng, 150)
+
+	pool := buffer.NewPool(-1)
+	quadP := buildQuad(t, ps, pool, 1)
+	rtPager := storage.NewMemPager(storage.DefaultPageSize)
+	rt, err := rtree.New(rtPager, pool, rtree.Config{Owner: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.BulkLoad(qs, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _, err := core.Join(rt, quadP, core.Options{Algorithm: core.AlgOBJ, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.BruteForcePairs(ps, qs, false)
+	if len(got) != len(want) {
+		t.Fatalf("mixed join: %d pairs, want %d", len(got), len(want))
+	}
+}
+
+func TestQuadtreeSelfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomEntries(rng, 120)
+	tr := buildQuad(t, pts, nil, 1)
+	got, _, err := core.Join(tr, tr, core.Options{Algorithm: core.AlgOBJ, SelfJoin: true, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.BruteForcePairs(pts, pts, true)
+	if len(got) != len(want) {
+		t.Fatalf("self join %d, want %d", len(got), len(want))
+	}
+}
+
+func TestClusteredDeepTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Dense cluster forces deep subdivision.
+	pts := make([]rtree.PointEntry, 3000)
+	for i := range pts {
+		pts[i] = rtree.PointEntry{
+			P:  geom.Point{X: 500 + rng.NormFloat64()*2, Y: 500 + rng.NormFloat64()*2},
+			ID: int64(i),
+		}
+	}
+	tr := buildQuad(t, pts, nil, 1)
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("dense cluster should force depth, got height %d", tr.Height())
+	}
+}
+
+func TestQuadtreeAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tr := buildQuad(t, randomEntries(rng, 300), nil, 1)
+	if tr.NumPages() == 0 {
+		t.Fatal("no pages")
+	}
+	if tr.Height() < 1 {
+		t.Fatalf("height %d", tr.Height())
+	}
+	empty := buildQuad(t, nil, nil, 2)
+	if empty.Root() != storage.InvalidPageID {
+		t.Fatal("empty quadtree has a root")
+	}
+	if err := empty.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package roadnet
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// GridNetwork generates a rows×cols Manhattan-style road grid with the
+// given block spacing: nodes at street intersections, edges between
+// neighbors with weights equal to geometric length perturbed by up to
+// ±20% (congestion/turns), and a fraction of blocks removed so the network
+// is not a perfect lattice (dropping never disconnects the grid — only
+// edges with a redundant detour are eligible).
+func GridNetwork(rows, cols int, spacing float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := rows * cols
+	pos := make([]geom.Point, n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pos[r*cols+c] = geom.Point{
+				X: float64(c)*spacing + rng.NormFloat64()*spacing*0.05,
+				Y: float64(r)*spacing + rng.NormFloat64()*spacing*0.05,
+			}
+		}
+	}
+	g, err := NewGraph(n, pos)
+	if err != nil {
+		panic(err) // n and pos are constructed consistently
+	}
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	perturb := func(w float64) float64 { return w * (0.8 + rng.Float64()*0.4) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Horizontal street segment.
+			if c+1 < cols {
+				// Interior horizontal edges may be dropped (10%) without
+				// disconnecting: a detour via the adjacent row exists.
+				droppable := r > 0 && r < rows-1
+				if !droppable || rng.Float64() >= 0.1 {
+					w := perturb(pos[id(r, c)].Dist(pos[id(r, c+1)]))
+					if err := g.AddEdge(id(r, c), id(r, c+1), w); err != nil {
+						panic(err)
+					}
+				}
+			}
+			// Vertical street segment (always present: keeps columns
+			// connected, and with full boundary rows the grid stays one
+			// component).
+			if r+1 < rows {
+				w := perturb(pos[id(r, c)].Dist(pos[id(r+1, c)]))
+				if err := g.AddEdge(id(r, c), id(r+1, c), w); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// RandomPointsOnNodes places n dataset points on distinct random nodes
+// (ids 0..n-1). It panics if n exceeds the node count.
+func RandomPointsOnNodes(g *Graph, n int, seed int64) []PointRef {
+	if n > g.NumNodes() {
+		panic("roadnet: more points than nodes")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(g.NumNodes())
+	out := make([]PointRef, n)
+	for i := 0; i < n; i++ {
+		out[i] = PointRef{ID: int64(i), Node: NodeID(perm[i])}
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// lineGraph builds a path graph 0–1–…–(n−1) with unit edges.
+func lineGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: float64(i)}
+	}
+	g, err := NewGraph(n, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(NodeID(i), NodeID(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestShortestPathLine(t *testing.T) {
+	g := lineGraph(t, 10)
+	d, path, ok := g.ShortestPath(2, 7, math.Inf(1))
+	if !ok || d != 5 {
+		t.Fatalf("d=%g ok=%v", d, ok)
+	}
+	if len(path) != 6 || path[0] != 2 || path[5] != 7 {
+		t.Fatalf("path %v", path)
+	}
+	if _, _, ok := g.ShortestPath(0, 9, 3); ok {
+		t.Fatal("bounded search should miss a distance-9 target")
+	}
+}
+
+func TestDistancesFrom(t *testing.T) {
+	g := lineGraph(t, 6)
+	d := g.DistancesFrom(0, math.Inf(1))
+	for i, want := range []float64{0, 1, 2, 3, 4, 5} {
+		if d[i] != want {
+			t.Fatalf("d[%d]=%g", i, d[i])
+		}
+	}
+	bounded := g.DistancesFrom(0, 2)
+	if !math.IsInf(bounded[4], 1) {
+		t.Fatal("bound ignored")
+	}
+}
+
+func TestMidpointOnPath(t *testing.T) {
+	g := lineGraph(t, 10)
+	_, path, _ := g.ShortestPath(1, 5, math.Inf(1)) // length 4
+	c := g.midpointOnPath(path, 4)
+	// Midpoint at distance 2 from node 1 = exactly node 3 (offset 0 on the
+	// 3–4 edge or full on 2–3; either encoding is fine as long as distances
+	// work out).
+	d := g.DistancesFromCenter(c, 10)
+	if math.Abs(d[1]-2) > 1e-9 || math.Abs(d[5]-2) > 1e-9 {
+		t.Fatalf("midpoint not equidistant: d1=%g d5=%g", d[1], d[5])
+	}
+	// Odd total: midpoint mid-edge.
+	_, path, _ = g.ShortestPath(0, 3, math.Inf(1)) // length 3
+	c = g.midpointOnPath(path, 3)
+	d = g.DistancesFromCenter(c, 10)
+	if math.Abs(d[0]-1.5) > 1e-9 || math.Abs(d[3]-1.5) > 1e-9 {
+		t.Fatalf("mid-edge midpoint wrong: d0=%g d3=%g", d[0], d[3])
+	}
+}
+
+func TestLineJoinByHand(t *testing.T) {
+	// P at nodes {0, 4}, Q at nodes {2, 6} on a unit line.
+	// <p0(0), q0(2)>: ball center 1, r 1 → covers nodes 0,1,2 → no other
+	// point → valid.
+	// <p1(4), q0(2)>: center 3, r 1 → nodes 2..4 → valid.
+	// <p1(4), q1(6)>: center 5, r 1 → nodes 4..6 → valid.
+	// <p0(0), q1(6)>: center 3, r 3 → covers node 4 (p1) and node 2 (q0) →
+	// invalid.
+	g := lineGraph(t, 8)
+	P := []PointRef{{ID: 0, Node: 0}, {ID: 1, Node: 4}}
+	Q := []PointRef{{ID: 0, Node: 2}, {ID: 1, Node: 6}}
+	got, stats, err := Join(g, P, Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"0|0": true, "1|0": true, "1|1": true}
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs: %+v", len(got), got)
+	}
+	for _, pr := range got {
+		k := fmt.Sprintf("%d|%d", pr.P.ID, pr.Q.ID)
+		if !want[k] {
+			t.Fatalf("unexpected pair %s", k)
+		}
+		if math.Abs(pr.Radius-pr.Dist/2) > 1e-12 {
+			t.Fatalf("radius %g for dist %g", pr.Radius, pr.Dist)
+		}
+	}
+	if stats.Results != int64(len(got)) {
+		t.Fatalf("stats results %d", stats.Results)
+	}
+}
+
+func checkNetJoin(t *testing.T, g *Graph, P, Q []PointRef) {
+	t.Helper()
+	got, _, err := Join(g, P, Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BruteForce(g, P, Q)
+	ws := map[string]bool{}
+	for _, p := range want {
+		ws[fmt.Sprintf("%d|%d", p.P.ID, p.Q.ID)] = true
+	}
+	gs := map[string]bool{}
+	for _, p := range got {
+		k := fmt.Sprintf("%d|%d", p.P.ID, p.Q.ID)
+		if gs[k] {
+			t.Fatalf("duplicate pair %s", k)
+		}
+		gs[k] = true
+	}
+	if len(ws) != len(gs) {
+		t.Fatalf("join %d pairs, oracle %d", len(gs), len(ws))
+	}
+	for k := range ws {
+		if !gs[k] {
+			t.Fatalf("missing pair %s", k)
+		}
+	}
+}
+
+func TestJoinMatchesOracleOnGrids(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := GridNetwork(12, 12, 100, seed)
+		P := RandomPointsOnNodes(g, 25, seed*10+1)
+		Q := RandomPointsOnNodes(g, 25, seed*10+2)
+		checkNetJoin(t, g, P, Q)
+	}
+}
+
+func TestJoinSharedNodes(t *testing.T) {
+	// P and Q points stacked on the same nodes: co-location extremes.
+	g := GridNetwork(8, 8, 100, 9)
+	P := []PointRef{{ID: 0, Node: 10}, {ID: 1, Node: 10}, {ID: 2, Node: 30}}
+	Q := []PointRef{{ID: 0, Node: 10}, {ID: 1, Node: 45}}
+	checkNetJoin(t, g, P, Q)
+}
+
+func TestJoinDisconnected(t *testing.T) {
+	// Two disjoint line components; cross-component pairs cannot form.
+	g, err := NewGraph(6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	P := []PointRef{{ID: 0, Node: 0}, {ID: 1, Node: 3}}
+	Q := []PointRef{{ID: 0, Node: 2}, {ID: 1, Node: 5}}
+	got, _, err := Join(g, P, Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range got {
+		sameComp := (pr.P.Node <= 2) == (pr.Q.Node <= 2)
+		if !sameComp {
+			t.Fatalf("cross-component pair %+v", pr)
+		}
+	}
+	checkNetJoin(t, g, P, Q)
+}
+
+func TestFilterPrunes(t *testing.T) {
+	// With many P points the filter must return far fewer candidates than
+	// |P| for each q.
+	g := GridNetwork(15, 15, 100, 3)
+	P := RandomPointsOnNodes(g, 100, 5)
+	Q := RandomPointsOnNodes(g, 20, 6)
+	_, stats, err := Join(g, P, Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perQ := float64(stats.Candidates) / 20
+	if perQ > 30 {
+		t.Errorf("filter admits %.1f candidates per query from |P|=100 — pruning ineffective", perQ)
+	}
+}
+
+func TestGridNetworkConnected(t *testing.T) {
+	g := GridNetwork(10, 14, 100, 7)
+	d := g.DistancesFrom(0, math.Inf(1))
+	for i, dv := range d {
+		if math.IsInf(dv, 1) {
+			t.Fatalf("node %d unreachable — generator disconnected the grid", i)
+		}
+	}
+	if g.NumNodes() != 140 {
+		t.Fatalf("nodes %d", g.NumNodes())
+	}
+}
+
+func TestEmbeddingInterpolates(t *testing.T) {
+	g := lineGraph(t, 3)
+	c := BallCenter{U: 0, V: 1, OffU: 0.5}
+	pt := g.Embedding(c)
+	if math.Abs(pt.X-0.5) > 1e-12 {
+		t.Fatalf("embedding %+v", pt)
+	}
+	node := g.Embedding(BallCenter{U: 2, V: 2})
+	if node.X != 2 {
+		t.Fatalf("node embedding %+v", node)
+	}
+}
+
+func TestRandomPointsOnNodesDistinct(t *testing.T) {
+	g := GridNetwork(5, 5, 100, 1)
+	pts := RandomPointsOnNodes(g, 25, 2)
+	seen := map[NodeID]bool{}
+	for _, p := range pts {
+		if seen[p.Node] {
+			t.Fatalf("node %d reused", p.Node)
+		}
+		seen[p.Node] = true
+	}
+}
+
+func TestJoinRandomLines(t *testing.T) {
+	// 1D networks sharpen boundary cases (exact ties everywhere).
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		g := lineGraph(t, 30)
+		var P, Q []PointRef
+		for i := 0; i < 8; i++ {
+			P = append(P, PointRef{ID: int64(i), Node: NodeID(rng.Intn(30))})
+			Q = append(Q, PointRef{ID: int64(i), Node: NodeID(rng.Intn(30))})
+		}
+		checkNetJoin(t, g, P, Q)
+	}
+}

@@ -1,0 +1,128 @@
+package rtree
+
+import (
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// Delete removes the point with the given coordinates and id, returning
+// whether it was found. Deletion follows Guttman's condense-tree scheme:
+// the leaf entry is removed, underfull nodes along the path are dissolved
+// and their remaining points reinserted, ancestors' MBRs tighten, and a
+// single-child internal root is collapsed. Dissolved pages are not recycled
+// (no free list); rebuild via BulkLoad to compact a heavily shrunken tree.
+func (t *Tree) Delete(p geom.Point, id int64) (bool, error) {
+	if t.root == storage.InvalidPageID {
+		return false, nil
+	}
+	var orphans []PointEntry
+	found, err := t.deleteRec(t.root, t.height, p, id, &orphans)
+	if err != nil || !found {
+		return found, err
+	}
+	t.size--
+
+	// Collapse the root: empty tree, or an internal root with one child.
+	for {
+		n, err := t.ReadNode(t.root)
+		if err != nil {
+			return true, err
+		}
+		if n.Leaf {
+			if len(n.Points) == 0 && t.size == 0 && len(orphans) == 0 {
+				t.root = storage.InvalidPageID
+				t.height = 0
+			}
+			break
+		}
+		if len(n.Children) == 1 {
+			t.root = n.Children[0].Child
+			t.height--
+			continue
+		}
+		if len(n.Children) == 0 {
+			// All subtrees dissolved into orphans; restart from empty and
+			// reinsert below.
+			t.root = storage.InvalidPageID
+			t.height = 0
+			break
+		}
+		break
+	}
+
+	// Reinsert points of dissolved nodes.
+	for _, o := range orphans {
+		t.size-- // Insert will re-count it
+		if err := t.Insert(o.P, o.ID); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// deleteRec removes the entry from the subtree rooted at page id (at the
+// given level), condensing underfull children into the orphan list.
+func (t *Tree) deleteRec(id storage.PageID, level int, p geom.Point, pid int64, orphans *[]PointEntry) (bool, error) {
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return false, err
+	}
+	if n.Leaf {
+		for i, e := range n.Points {
+			if e.ID == pid && e.P.Equal(p) {
+				n.Points = append(n.Points[:i], n.Points[i+1:]...)
+				return true, t.writeNode(id, n)
+			}
+		}
+		return false, nil
+	}
+	for i, e := range n.Children {
+		if !e.MBR.ContainsPoint(p) {
+			continue
+		}
+		found, err := t.deleteRec(e.Child, level-1, p, pid, orphans)
+		if err != nil {
+			return false, err
+		}
+		if !found {
+			continue
+		}
+		child, err := t.ReadNode(e.Child)
+		if err != nil {
+			return false, err
+		}
+		minEntries := t.minChild
+		if child.Leaf {
+			minEntries = t.minLeaf
+		}
+		if child.Len() < minEntries {
+			// Dissolve the underfull child: all its points become orphans.
+			if err := t.collectPoints(e.Child, orphans); err != nil {
+				return false, err
+			}
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+		} else {
+			n.Children[i].MBR = child.MBR()
+		}
+		return true, t.writeNode(id, n)
+	}
+	return false, nil
+}
+
+// collectPoints gathers every point under the subtree at page id.
+func (t *Tree) collectPoints(id storage.PageID, out *[]PointEntry) error {
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return err
+	}
+	if n.Leaf {
+		*out = append(*out, n.Points...)
+		return nil
+	}
+	for _, e := range n.Children {
+		if err := t.collectPoints(e.Child, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package rtree
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// FuzzDecodeNode asserts the page decoder never panics on arbitrary bytes:
+// it must either return an error or a structurally consistent node. A
+// corrupt page read from disk must surface as an error, not a crash.
+func FuzzDecodeNode(f *testing.F) {
+	// Seed with valid pages of both kinds and some corruptions.
+	buf := make([]byte, storage.DefaultPageSize)
+	leaf := &Node{Leaf: true, Points: []PointEntry{{ID: 1}, {ID: 2}}}
+	if err := leaf.Encode(buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), buf...))
+	internal := &Node{Children: []ChildEntry{{Child: 3}}}
+	if err := internal.Encode(buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), buf...))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 255, 255})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := DecodeNode(data)
+		if err != nil {
+			return
+		}
+		if n.Leaf && n.Children != nil {
+			t.Fatal("leaf with children")
+		}
+		if !n.Leaf && n.Points != nil {
+			t.Fatal("internal node with points")
+		}
+		// A decoded node must re-encode into a page-sized buffer when its
+		// entry count fits.
+		if n.Len() <= LeafCapacity(storage.DefaultPageSize) && n.Leaf ||
+			n.Len() <= InternalCapacity(storage.DefaultPageSize) && !n.Leaf {
+			out := make([]byte, storage.DefaultPageSize)
+			if err := n.Encode(out); err != nil {
+				t.Fatalf("re-encode of decoded node failed: %v", err)
+			}
+		}
+	})
+}

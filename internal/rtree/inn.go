@@ -1,0 +1,123 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// This file implements the incremental nearest-neighbor (INN) algorithm of
+// Hjaltason & Samet (TODS 1999), the spatial ranking operator the paper's
+// filter step builds on: it emits indexed points in nondecreasing distance
+// from a query point, expanding R-tree nodes lazily from a min-heap ordered
+// by MINDIST.
+
+// innItem is one heap element: either an unexpanded subtree or a point.
+type innItem struct {
+	dist2   float64
+	isPoint bool
+	page    storage.PageID // subtree root when !isPoint
+	point   PointEntry     // the point when isPoint
+}
+
+// innHeap is a min-heap of innItem by squared distance. Points sort before
+// subtrees at equal distance so a point is never emitted after a subtree
+// that could contain a closer one (MINDIST is a lower bound, so a subtree at
+// the same key cannot beat the point).
+type innHeap []innItem
+
+func (h innHeap) Len() int { return len(h) }
+func (h innHeap) Less(i, j int) bool {
+	if h[i].dist2 != h[j].dist2 {
+		return h[i].dist2 < h[j].dist2
+	}
+	return h[i].isPoint && !h[j].isPoint
+}
+func (h innHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *innHeap) Push(x any)   { *h = append(*h, x.(innItem)) }
+func (h *innHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// INNIterator emits the tree's points in nondecreasing distance from a query
+// point. Create one with NewINNIterator; call Next until ok is false.
+type INNIterator struct {
+	t    *Tree
+	q    geom.Point
+	heap innHeap
+	err  error
+}
+
+// NewINNIterator starts an incremental nearest-neighbor scan from q.
+func (t *Tree) NewINNIterator(q geom.Point) *INNIterator {
+	it := &INNIterator{t: t, q: q}
+	if t.root != storage.InvalidPageID {
+		it.heap = innHeap{{dist2: 0, page: t.root}}
+		// Seeding with the root at distance 0 is correct (root MINDIST from
+		// any interior query is 0 anyway and the first Pop expands it).
+	}
+	heap.Init(&it.heap)
+	return it
+}
+
+// Next returns the next nearest point and its exact distance squared.
+// ok is false when the tree is exhausted or an I/O error occurred (check
+// Err).
+func (it *INNIterator) Next() (pe PointEntry, dist2 float64, ok bool) {
+	for it.heap.Len() > 0 {
+		item := heap.Pop(&it.heap).(innItem)
+		if item.isPoint {
+			return item.point, item.dist2, true
+		}
+		n, err := it.t.ReadNode(item.page)
+		if err != nil {
+			it.err = err
+			return PointEntry{}, 0, false
+		}
+		if n.Leaf {
+			for _, e := range n.Points {
+				heap.Push(&it.heap, innItem{dist2: it.q.Dist2(e.P), isPoint: true, point: e})
+			}
+		} else {
+			for _, e := range n.Children {
+				heap.Push(&it.heap, innItem{dist2: e.MBR.MinDist2(it.q), page: e.Child})
+			}
+		}
+	}
+	return PointEntry{}, 0, false
+}
+
+// Err returns the first I/O error encountered, if any.
+func (it *INNIterator) Err() error { return it.err }
+
+// KNN returns the k nearest indexed points to q in nondecreasing distance
+// order (fewer if the tree holds fewer points).
+func (t *Tree) KNN(q geom.Point, k int) ([]PointEntry, error) {
+	it := t.NewINNIterator(q)
+	out := make([]PointEntry, 0, k)
+	for len(out) < k {
+		pe, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, pe)
+	}
+	return out, it.Err()
+}
+
+// NearestNeighbor returns the closest indexed point to q.
+func (t *Tree) NearestNeighbor(q geom.Point) (PointEntry, error) {
+	pts, err := t.KNN(q, 1)
+	if err != nil {
+		return PointEntry{}, err
+	}
+	if len(pts) == 0 {
+		return PointEntry{}, ErrEmptyTree
+	}
+	return pts[0], nil
+}

@@ -1,0 +1,141 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+func benchTree(b *testing.B, n int, bulk bool) *Tree {
+	b.Helper()
+	pager := storage.NewMemPager(storage.DefaultPageSize)
+	tr, err := New(pager, buffer.NewPool(-1), Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pts := randomEntries(rng, n)
+	if bulk {
+		if err := tr.BulkLoad(pts, 0); err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		for _, p := range pts {
+			if err := tr.Insert(p.P, p.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return tr
+}
+
+func BenchmarkInsert(b *testing.B) {
+	pager := storage.NewMemPager(storage.DefaultPageSize)
+	tr, err := New(pager, buffer.NewPool(-1), Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := geom.Point{X: rng.Float64() * 10000, Y: rng.Float64() * 10000}
+		if err := tr.Insert(p, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBulkLoad20K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomEntries(rng, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pager := storage.NewMemPager(storage.DefaultPageSize)
+		tr, err := New(pager, buffer.NewPool(-1), Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.BulkLoad(pts, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeSearch(b *testing.B) {
+	tr := benchTree(b, 50000, true)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := rng.Float64()*9500, rng.Float64()*9500
+		if _, err := tr.RangeSearch(geom.Rect{MinX: x, MinY: y, MaxX: x + 500, MaxY: y + 500}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKNN10(b *testing.B) {
+	tr := benchTree(b, 50000, true)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := geom.Point{X: rng.Float64() * 10000, Y: rng.Float64() * 10000}
+		if _, err := tr.KNN(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkINNFullDrain(b *testing.B) {
+	tr := benchTree(b, 10000, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := tr.NewINNIterator(geom.Point{X: 5000, Y: 5000})
+		for {
+			if _, _, ok := it.Next(); !ok {
+				break
+			}
+		}
+		if err := it.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDelete(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomEntries(rng, 20000)
+	b.StopTimer()
+	for i := 0; i < b.N; i++ {
+		tr := benchTree(b, 0, true)
+		for _, p := range pts[:5000] {
+			if err := tr.Insert(p.P, p.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		for _, p := range pts[:2500] {
+			if _, err := tr.Delete(p.P, p.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+	}
+}
+
+func BenchmarkNodeEncodeDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := &Node{Leaf: true, Points: randomEntries(rng, 42)}
+	buf := make([]byte, storage.DefaultPageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Encode(buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeNode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package rtree
+
+import (
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// RangeSearch returns all indexed points inside or on the boundary of w.
+func (t *Tree) RangeSearch(w geom.Rect) ([]PointEntry, error) {
+	var out []PointEntry
+	err := t.rangeRec(t.root, w, &out)
+	return out, err
+}
+
+func (t *Tree) rangeRec(id storage.PageID, w geom.Rect, out *[]PointEntry) error {
+	if id == storage.InvalidPageID {
+		return nil
+	}
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return err
+	}
+	if n.Leaf {
+		for _, e := range n.Points {
+			if w.ContainsPoint(e.P) {
+				*out = append(*out, e)
+			}
+		}
+		return nil
+	}
+	for _, e := range n.Children {
+		if e.MBR.Intersects(w) {
+			if err := t.rangeRec(e.Child, w, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CircleSearch returns all indexed points covered by the closed disk c — the
+// range search the brute-force RCJ verification performs per candidate pair.
+func (t *Tree) CircleSearch(c geom.Circle) ([]PointEntry, error) {
+	var out []PointEntry
+	err := t.circleRec(t.root, c, &out)
+	return out, err
+}
+
+func (t *Tree) circleRec(id storage.PageID, c geom.Circle, out *[]PointEntry) error {
+	if id == storage.InvalidPageID {
+		return nil
+	}
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return err
+	}
+	if n.Leaf {
+		for _, e := range n.Points {
+			if c.Covers(e.P) {
+				*out = append(*out, e)
+			}
+		}
+		return nil
+	}
+	for _, e := range n.Children {
+		if c.IntersectsRect(e.MBR) {
+			if err := t.circleRec(e.Child, c, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AnyInCircle reports whether some indexed point other than the excluded ids
+// is covered by the closed disk c. It short-circuits on the first hit, using
+// the face-inside-circle test only as a descend filter would (exclusions make
+// the guarantee of the face rule unusable here, so subtrees are verified by
+// descent).
+func (t *Tree) AnyInCircle(c geom.Circle, exclude1, exclude2 int64) (bool, error) {
+	return t.anyRec(t.root, c, exclude1, exclude2)
+}
+
+func (t *Tree) anyRec(id storage.PageID, c geom.Circle, ex1, ex2 int64) (bool, error) {
+	if id == storage.InvalidPageID {
+		return false, nil
+	}
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return false, err
+	}
+	if n.Leaf {
+		for _, e := range n.Points {
+			if e.ID != ex1 && e.ID != ex2 && c.Covers(e.P) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	for _, e := range n.Children {
+		if c.IntersectsRect(e.MBR) {
+			hit, err := t.anyRec(e.Child, c, ex1, ex2)
+			if err != nil || hit {
+				return hit, err
+			}
+		}
+	}
+	return false, nil
+}
+
+// ScanAll returns every indexed point by a full depth-first traversal, in
+// leaf order. Useful for tests and for exporting datasets.
+func (t *Tree) ScanAll() ([]PointEntry, error) {
+	out := make([]PointEntry, 0, t.size)
+	err := t.VisitLeaves(func(n *Node) error {
+		out = append(out, n.Points...)
+		return nil
+	})
+	return out, err
+}
+
+// VisitLeaves applies fn to every leaf node in depth-first order — the
+// traversal order Algorithm 5 of the paper prescribes for the outer join
+// input, chosen so consecutive filter/verification invocations touch nearby
+// tree paths and the buffer absorbs them.
+func (t *Tree) VisitLeaves(fn func(*Node) error) error {
+	return t.visitLeavesRec(t.root, fn)
+}
+
+func (t *Tree) visitLeavesRec(id storage.PageID, fn func(*Node) error) error {
+	if id == storage.InvalidPageID {
+		return nil
+	}
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return err
+	}
+	if n.Leaf {
+		return fn(n)
+	}
+	for _, e := range n.Children {
+		if err := t.visitLeavesRec(e.Child, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LeafPages returns the page ids of all leaves in depth-first order. The
+// search-order ablation shuffles this list to quantify the cost of losing
+// access locality.
+func (t *Tree) LeafPages() ([]storage.PageID, error) {
+	var out []storage.PageID
+	err := t.leafPagesRec(t.root, &out)
+	return out, err
+}
+
+func (t *Tree) leafPagesRec(id storage.PageID, out *[]storage.PageID) error {
+	if id == storage.InvalidPageID {
+		return nil
+	}
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return err
+	}
+	if n.Leaf {
+		*out = append(*out, id)
+		return nil
+	}
+	for _, e := range n.Children {
+		if err := t.leafPagesRec(e.Child, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

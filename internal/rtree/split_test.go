@@ -1,0 +1,129 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+func splitRects(rng *rand.Rand, n int) []geom.Rect {
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		rects[i] = geom.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*50, MaxY: y + rng.Float64()*50}
+	}
+	return rects
+}
+
+// checkSplit verifies the structural contract of any split: a partition of
+// all indices with both sides within [minFill, n-minFill].
+func checkSplit(t *testing.T, name string, n, minFill int, left, right []int) {
+	t.Helper()
+	if len(left)+len(right) != n {
+		t.Fatalf("%s: split lost entries: %d + %d != %d", name, len(left), len(right), n)
+	}
+	if len(left) < minFill || len(right) < minFill {
+		t.Fatalf("%s: underfull side: %d / %d (min %d)", name, len(left), len(right), minFill)
+	}
+	seen := make([]bool, n)
+	for _, i := range append(append([]int(nil), left...), right...) {
+		if i < 0 || i >= n || seen[i] {
+			t.Fatalf("%s: invalid or duplicate index %d", name, i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestSplitContracts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + rng.Intn(40)
+		minFill := 2 + rng.Intn(n/3)
+		rects := splitRects(rng, n)
+		l, r := chooseSplit(rects, minFill)
+		checkSplit(t, "rstar", n, min(minFill, n/2), l, r)
+		l, r = chooseSplitLinear(rects, minFill)
+		checkSplit(t, "linear", n, min(minFill, n/2), l, r)
+	}
+}
+
+func TestSplitDegenerateIdenticalRects(t *testing.T) {
+	rects := make([]geom.Rect, 20)
+	for i := range rects {
+		rects[i] = geom.Rect{MinX: 5, MinY: 5, MaxX: 5, MaxY: 5}
+	}
+	l, r := chooseSplit(rects, 8)
+	checkSplit(t, "rstar-degenerate", 20, 8, l, r)
+	l, r = chooseSplitLinear(rects, 8)
+	checkSplit(t, "linear-degenerate", 20, 8, l, r)
+}
+
+// TestRStarSplitLowerOverlap verifies the quality property that justifies
+// the paper's index choice: on clustered data the R* split produces less
+// sibling overlap than the linear split, on average.
+func TestRStarSplitLowerOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var rstarOverlap, linearOverlap float64
+	for trial := 0; trial < 200; trial++ {
+		// Two latent clusters the split should rediscover.
+		rects := make([]geom.Rect, 30)
+		for i := range rects {
+			cx, cy := 100.0, 100.0
+			if i%2 == 0 {
+				cx, cy = 500.0, 480.0
+			}
+			x, y := cx+rng.NormFloat64()*60, cy+rng.NormFloat64()*60
+			rects[i] = geom.Rect{MinX: x, MinY: y, MaxX: x + 10, MaxY: y + 10}
+		}
+		l, r := chooseSplit(rects, 12)
+		rstarOverlap += groupMBR(rects, l).OverlapArea(groupMBR(rects, r))
+		l, r = chooseSplitLinear(rects, 12)
+		linearOverlap += groupMBR(rects, l).OverlapArea(groupMBR(rects, r))
+	}
+	if rstarOverlap > linearOverlap {
+		t.Errorf("R* split produced more overlap than linear: %.0f vs %.0f", rstarOverlap, linearOverlap)
+	}
+}
+
+func TestLinearSplitTreeInvariants(t *testing.T) {
+	pager := storage.NewMemPager(storage.DefaultPageSize)
+	tr, err := New(pager, buffer.NewPool(-1), Config{SplitPolicy: SplitLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	pts := randomEntries(rng, 2000)
+	for _, p := range pts {
+		if err := tr.Insert(p.P, p.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("linear-split tree lost points: %d/%d", len(got), len(pts))
+	}
+	// Query correctness is split-policy independent.
+	w := geom.Rect{MinX: 2000, MinY: 2000, MaxX: 4000, MaxY: 4000}
+	res, err := tr.RangeSearch(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, p := range pts {
+		if w.ContainsPoint(p.P) {
+			want++
+		}
+	}
+	if len(res) != want {
+		t.Fatalf("range on linear-split tree: %d, want %d", len(res), want)
+	}
+}

@@ -1,0 +1,250 @@
+package rtree
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// SplitPolicy selects the algorithm used to split overfull nodes.
+type SplitPolicy int
+
+const (
+	// SplitRStar is the R*-tree topological split (margin-driven axis
+	// choice, overlap-minimizing distribution) — the paper's index.
+	SplitRStar SplitPolicy = iota
+	// SplitLinear is Guttman's original linear split: cheaper, but yields
+	// more node overlap. Provided for the index-quality ablation.
+	SplitLinear
+)
+
+// Config controls tree construction.
+type Config struct {
+	// PageSize is the on-disk page size in bytes; the paper's evaluation
+	// uses 1024. Defaults to storage.DefaultPageSize when zero.
+	PageSize int
+	// MinFillRatio is the minimum node fill as a fraction of capacity
+	// (the R*-tree paper recommends 0.4). Defaults to 0.4.
+	MinFillRatio float64
+	// ReinsertRatio is the fraction of entries removed for forced
+	// reinsertion on the first overflow per level (R* recommends 0.3).
+	// Defaults to 0.3.
+	ReinsertRatio float64
+	// SplitPolicy selects the node-split algorithm; the default is the R*
+	// split the paper's indexes use.
+	SplitPolicy SplitPolicy
+	// Owner tags this tree's pages in a shared buffer pool.
+	Owner uint32
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize <= 0 {
+		c.PageSize = storage.DefaultPageSize
+	}
+	if c.MinFillRatio <= 0 || c.MinFillRatio > 0.5 {
+		c.MinFillRatio = 0.4
+	}
+	if c.ReinsertRatio <= 0 || c.ReinsertRatio >= 1 {
+		c.ReinsertRatio = 0.3
+	}
+	return c
+}
+
+// Tree is a disk-page R*-tree over 2D points. All node reads go through the
+// buffer pool, so the pool's miss counter is exactly the tree's page-fault
+// count. Tree is not safe for concurrent mutation; concurrent reads are safe
+// once building is complete.
+type Tree struct {
+	pager storage.Pager
+	pool  *buffer.Pool
+	cfg   Config
+
+	maxLeaf, minLeaf   int
+	maxChild, minChild int
+
+	root   storage.PageID
+	height int // 1 when the root is a leaf; 0 for an empty tree
+	size   int // number of indexed points
+
+	pageBuf []byte // scratch page for encoding
+}
+
+// ErrEmptyTree is returned by operations that need at least one point.
+var ErrEmptyTree = errors.New("rtree: tree is empty")
+
+// New creates an empty tree whose pages are allocated from pager and cached
+// in pool. The pool may be shared with other trees (distinct Config.Owner).
+func New(pager storage.Pager, pool *buffer.Pool, cfg Config) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	if pager.PageSize() != cfg.PageSize {
+		return nil, fmt.Errorf("rtree: pager page size %d != config page size %d", pager.PageSize(), cfg.PageSize)
+	}
+	t := &Tree{
+		pager:   pager,
+		pool:    pool,
+		cfg:     cfg,
+		pageBuf: make([]byte, cfg.PageSize),
+	}
+	t.maxLeaf = LeafCapacity(cfg.PageSize)
+	t.maxChild = InternalCapacity(cfg.PageSize)
+	if t.maxLeaf < 4 || t.maxChild < 4 {
+		return nil, fmt.Errorf("rtree: page size %d too small (leaf capacity %d, internal capacity %d)", cfg.PageSize, t.maxLeaf, t.maxChild)
+	}
+	t.minLeaf = max(2, int(float64(t.maxLeaf)*cfg.MinFillRatio))
+	t.minChild = max(2, int(float64(t.maxChild)*cfg.MinFillRatio))
+	t.root = storage.InvalidPageID
+	return t, nil
+}
+
+// Size returns the number of indexed points.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the number of levels (1 when the root is a leaf, 0 when the
+// tree is empty).
+func (t *Tree) Height() int { return t.height }
+
+// Root returns the page id of the root node, or storage.InvalidPageID for an
+// empty tree.
+func (t *Tree) Root() storage.PageID { return t.root }
+
+// NumPages returns the number of pages this tree has allocated. With one
+// tree per pager this equals the tree size in pages, the quantity buffer
+// capacity is expressed against in the paper (buffer = x% of total tree
+// sizes).
+func (t *Tree) NumPages() int { return t.pager.NumPages() }
+
+// Pool returns the buffer pool the tree reads through.
+func (t *Tree) Pool() *buffer.Pool { return t.pool }
+
+// LeafCap returns the leaf-node entry capacity.
+func (t *Tree) LeafCap() int { return t.maxLeaf }
+
+// InternalCap returns the internal-node entry capacity.
+func (t *Tree) InternalCap() int { return t.maxChild }
+
+// ReadNode fetches the node stored at page id, consulting the buffer pool
+// first. Misses are page faults.
+func (t *Tree) ReadNode(id storage.PageID) (*Node, error) {
+	v, err := t.pool.Get(buffer.Key{Owner: t.cfg.Owner, Page: id}, func() (any, error) {
+		buf := make([]byte, t.cfg.PageSize)
+		if err := t.pager.ReadPage(id, buf); err != nil {
+			return nil, err
+		}
+		return DecodeNode(buf)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Node), nil
+}
+
+// writeNode serializes n to page id and refreshes the buffer pool.
+func (t *Tree) writeNode(id storage.PageID, n *Node) error {
+	if err := n.Encode(t.pageBuf); err != nil {
+		return err
+	}
+	if err := t.pager.WritePage(id, t.pageBuf); err != nil {
+		return err
+	}
+	t.pool.Put(buffer.Key{Owner: t.cfg.Owner, Page: id}, n)
+	return nil
+}
+
+// allocNode allocates a fresh page for n and writes it.
+func (t *Tree) allocNode(n *Node) (storage.PageID, error) {
+	id, err := t.pager.Allocate()
+	if err != nil {
+		return storage.InvalidPageID, err
+	}
+	if err := t.writeNode(id, n); err != nil {
+		return storage.InvalidPageID, err
+	}
+	return id, nil
+}
+
+// RootMBR returns the bounding rectangle of the whole tree.
+func (t *Tree) RootMBR() (geom.Rect, error) {
+	if t.root == storage.InvalidPageID {
+		return geom.EmptyRect(), ErrEmptyTree
+	}
+	n, err := t.ReadNode(t.root)
+	if err != nil {
+		return geom.EmptyRect(), err
+	}
+	return n.MBR(), nil
+}
+
+// Check walks the whole tree verifying structural invariants: child MBRs
+// contain their subtrees, entry counts respect capacity (root excepted for
+// the minimum), leaves share one depth, and the point count matches Size.
+// It is intended for tests.
+func (t *Tree) Check() error {
+	if t.root == storage.InvalidPageID {
+		if t.size != 0 || t.height != 0 {
+			return fmt.Errorf("rtree: empty root but size=%d height=%d", t.size, t.height)
+		}
+		return nil
+	}
+	count, err := t.checkNode(t.root, t.height, true)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: reachable points %d != size %d", count, t.size)
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(id storage.PageID, level int, isRoot bool) (int, error) {
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return 0, err
+	}
+	if n.Leaf != (level == 1) {
+		return 0, fmt.Errorf("rtree: node %d leaf=%v at level %d of height %d", id, n.Leaf, level, t.height)
+	}
+	if n.Leaf {
+		if len(n.Points) > t.maxLeaf {
+			return 0, fmt.Errorf("rtree: leaf %d overfull: %d > %d", id, len(n.Points), t.maxLeaf)
+		}
+		if !isRoot && len(n.Points) < t.minLeaf {
+			return 0, fmt.Errorf("rtree: leaf %d underfull: %d < %d", id, len(n.Points), t.minLeaf)
+		}
+		return len(n.Points), nil
+	}
+	if len(n.Children) > t.maxChild {
+		return 0, fmt.Errorf("rtree: node %d overfull: %d > %d", id, len(n.Children), t.maxChild)
+	}
+	if !isRoot && len(n.Children) < t.minChild {
+		return 0, fmt.Errorf("rtree: node %d underfull: %d < %d", id, len(n.Children), t.minChild)
+	}
+	if isRoot && len(n.Children) < 2 {
+		return 0, fmt.Errorf("rtree: internal root %d has %d children", id, len(n.Children))
+	}
+	total := 0
+	for _, e := range n.Children {
+		child, err := t.ReadNode(e.Child)
+		if err != nil {
+			return 0, err
+		}
+		if got := child.MBR(); !e.MBR.ContainsRect(got) {
+			return 0, fmt.Errorf("rtree: node %d entry MBR %+v does not contain child %d MBR %+v", id, e.MBR, e.Child, got)
+		}
+		c, err := t.checkNode(e.Child, level-1, false)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

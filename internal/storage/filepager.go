@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FilePager is a Pager backed by a single flat file: page i lives at byte
+// offset i·PageSize. It lets indexes built by this library persist on disk
+// and be reopened; the experiment harness uses MemPager, but the CLI tools
+// accept file-backed indexes for realistic end-to-end runs.
+type FilePager struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	numPages int
+	stats    Stats
+}
+
+// CreateFilePager creates (truncating) a page file at path.
+func CreateFilePager(path string, pageSize int) (*FilePager, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create page file: %w", err)
+	}
+	return &FilePager{f: f, pageSize: pageSize}, nil
+}
+
+// OpenFilePager opens an existing page file created with the same pageSize.
+func OpenFilePager(path string, pageSize int) (*FilePager, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open page file: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat page file: %w", err)
+	}
+	if info.Size()%int64(pageSize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: page file size %d not a multiple of page size %d", info.Size(), pageSize)
+	}
+	return &FilePager{f: f, pageSize: pageSize, numPages: int(info.Size() / int64(pageSize))}, nil
+}
+
+// PageSize returns the page size in bytes.
+func (p *FilePager) PageSize() int { return p.pageSize }
+
+// NumPages returns the number of allocated pages.
+func (p *FilePager) NumPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.numPages
+}
+
+// Allocate extends the file by one zeroed page.
+func (p *FilePager) Allocate() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := PageID(p.numPages)
+	zero := make([]byte, p.pageSize)
+	if _, err := p.f.WriteAt(zero, int64(p.numPages)*int64(p.pageSize)); err != nil {
+		return InvalidPageID, fmt.Errorf("storage: allocate page: %w", err)
+	}
+	p.numPages++
+	p.stats.Writes++
+	return id, nil
+}
+
+// ReadPage copies page id into buf.
+func (p *FilePager) ReadPage(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) >= p.numPages {
+		return fmt.Errorf("%w: read %d of %d", ErrPageOutOfRange, id, p.numPages)
+	}
+	if len(buf) < p.pageSize {
+		return fmt.Errorf("storage: read buffer %d smaller than page size %d", len(buf), p.pageSize)
+	}
+	if _, err := p.f.ReadAt(buf[:p.pageSize], int64(id)*int64(p.pageSize)); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	p.stats.Reads++
+	return nil
+}
+
+// WritePage stores buf as page id.
+func (p *FilePager) WritePage(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) >= p.numPages {
+		return fmt.Errorf("%w: write %d of %d", ErrPageOutOfRange, id, p.numPages)
+	}
+	if len(buf) > p.pageSize {
+		return fmt.Errorf("storage: write of %d bytes exceeds page size %d", len(buf), p.pageSize)
+	}
+	page := make([]byte, p.pageSize)
+	copy(page, buf)
+	if _, err := p.f.WriteAt(page, int64(id)*int64(p.pageSize)); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	p.stats.Writes++
+	return nil
+}
+
+// Stats returns cumulative physical I/O counters.
+func (p *FilePager) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close syncs and closes the backing file.
+func (p *FilePager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.f == nil {
+		return nil
+	}
+	err := p.f.Sync()
+	if cerr := p.f.Close(); err == nil {
+		err = cerr
+	}
+	p.f = nil
+	return err
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// WritePoints writes points as CSV rows "id,x,y".
+func WritePoints(w io.Writer, pts []rtree.PointEntry) error {
+	cw := csv.NewWriter(w)
+	for _, p := range pts {
+		rec := []string{
+			strconv.FormatInt(p.ID, 10),
+			strconv.FormatFloat(p.P.X, 'g', -1, 64),
+			strconv.FormatFloat(p.P.Y, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: write point: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPoints parses CSV rows "id,x,y" (or "x,y", assigning sequential ids).
+func ReadPoints(r io.Reader) ([]rtree.PointEntry, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var out []rtree.PointEntry
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: read points: %w", err)
+		}
+		line++
+		var (
+			id   int64
+			x, y float64
+		)
+		switch len(rec) {
+		case 2:
+			id = int64(line - 1)
+			if x, err = strconv.ParseFloat(rec[0], 64); err == nil {
+				y, err = strconv.ParseFloat(rec[1], 64)
+			}
+		case 3:
+			if id, err = strconv.ParseInt(rec[0], 10, 64); err == nil {
+				if x, err = strconv.ParseFloat(rec[1], 64); err == nil {
+					y, err = strconv.ParseFloat(rec[2], 64)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("workload: line %d: want 2 or 3 fields, got %d", line, len(rec))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		out = append(out, rtree.PointEntry{P: geom.Point{X: x, Y: y}, ID: id})
+	}
+}

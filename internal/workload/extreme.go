@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// This file holds the adversarial distributions of the result-size study —
+// the paper's second future-work direction ("determine the theoretical upper
+// bound of RCJ result size ... for the 'worst' possible data distributions").
+// Each generator stresses a different structural extreme.
+
+// Grid returns n points on a √n × √n integer lattice spanning the domain —
+// maximal regularity; every interior point has four equidistant neighbors,
+// producing heavy co-circularity.
+func Grid(n int) []rtree.PointEntry {
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	if side < 1 {
+		side = 1
+	}
+	step := Domain / float64(side)
+	pts := make([]rtree.PointEntry, 0, n)
+	for i := 0; len(pts) < n; i++ {
+		x := float64(i%side)*step + step/2
+		y := float64(i/side)*step + step/2
+		pts = append(pts, rtree.PointEntry{P: geom.Point{X: x, Y: y}, ID: int64(len(pts))})
+	}
+	return pts
+}
+
+// Collinear returns n points on a horizontal line with the given jitter in
+// y (0 for exactly collinear) — the 1D extreme where only neighboring
+// points can pair.
+func Collinear(n int, jitter float64, seed int64) []rtree.PointEntry {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]rtree.PointEntry, n)
+	for i := range pts {
+		pts[i] = rtree.PointEntry{
+			P: geom.Point{
+				X: rng.Float64() * Domain,
+				Y: Domain/2 + rng.NormFloat64()*jitter,
+			},
+			ID: int64(i),
+		}
+	}
+	return pts
+}
+
+// OnCircle returns n points on a circle of radius Domain/3 centered in the
+// domain, with angular jitter — co-circularity at global scale: the shared
+// circumcircle means every pair's enclosing circle reaches deep into the
+// ring's interior.
+func OnCircle(n int, jitter float64, seed int64) []rtree.PointEntry {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]rtree.PointEntry, n)
+	r := Domain / 3
+	c := geom.Point{X: Domain / 2, Y: Domain / 2}
+	for i := range pts {
+		theta := 2 * math.Pi * (float64(i) + rng.Float64()*jitter) / float64(n)
+		pts[i] = rtree.PointEntry{
+			P:  geom.Point{X: c.X + r*math.Cos(theta), Y: c.Y + r*math.Sin(theta)},
+			ID: int64(i),
+		}
+	}
+	return pts
+}
+
+// TwoDistantClusters returns n points split between two tight clusters at
+// opposite corners — the configuration behind the paper's Figure 1 remark
+// that RCJ pairs need not be close: cross-cluster pairs can qualify when the
+// corridor between clusters is empty.
+func TwoDistantClusters(n int, sigma float64, seed int64) []rtree.PointEntry {
+	rng := rand.New(rand.NewSource(seed))
+	a := geom.Point{X: Domain * 0.1, Y: Domain * 0.1}
+	b := geom.Point{X: Domain * 0.9, Y: Domain * 0.9}
+	pts := make([]rtree.PointEntry, n)
+	for i := range pts {
+		c := a
+		if i%2 == 1 {
+			c = b
+		}
+		pts[i] = rtree.PointEntry{
+			P: geom.Point{
+				X: clamp(c.X+rng.NormFloat64()*sigma, 0, Domain),
+				Y: clamp(c.Y+rng.NormFloat64()*sigma, 0, Domain),
+			},
+			ID: int64(i),
+		}
+	}
+	return pts
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGrid(t *testing.T) {
+	pts := Grid(100)
+	if len(pts) != 100 {
+		t.Fatalf("len %d", len(pts))
+	}
+	inDomain(t, pts)
+	uniqueIDs(t, pts)
+	// Lattice regularity: x coordinates take exactly √n distinct values.
+	xs := map[float64]bool{}
+	for _, p := range pts {
+		xs[p.P.X] = true
+	}
+	if len(xs) != 10 {
+		t.Errorf("grid has %d distinct x values, want 10", len(xs))
+	}
+	// Non-square count still works.
+	if got := Grid(7); len(got) != 7 {
+		t.Errorf("Grid(7) returned %d", len(got))
+	}
+	if got := Grid(1); len(got) != 1 {
+		t.Errorf("Grid(1) returned %d", len(got))
+	}
+}
+
+func TestCollinear(t *testing.T) {
+	pts := Collinear(500, 0, 1)
+	inDomain(t, pts)
+	uniqueIDs(t, pts)
+	for _, p := range pts {
+		if p.P.Y != Domain/2 {
+			t.Fatalf("exact collinear point off the line: %+v", p)
+		}
+	}
+	jittered := Collinear(500, 3, 1)
+	offLine := 0
+	for _, p := range jittered {
+		if p.P.Y != Domain/2 {
+			offLine++
+		}
+	}
+	if offLine == 0 {
+		t.Error("jittered collinear points all exactly on the line")
+	}
+}
+
+func TestOnCircle(t *testing.T) {
+	pts := OnCircle(360, 0.3, 1)
+	inDomain(t, pts)
+	uniqueIDs(t, pts)
+	c := struct{ x, y float64 }{Domain / 2, Domain / 2}
+	r := Domain / 3
+	for _, p := range pts {
+		d := math.Hypot(p.P.X-c.x, p.P.Y-c.y)
+		if math.Abs(d-r) > 1e-6 {
+			t.Fatalf("point off the circle: radius %g, want %g", d, r)
+		}
+	}
+}
+
+func TestTwoDistantClusters(t *testing.T) {
+	pts := TwoDistantClusters(400, 100, 1)
+	inDomain(t, pts)
+	uniqueIDs(t, pts)
+	// Every point is near one of the two corners.
+	nearA, nearB := 0, 0
+	for _, p := range pts {
+		da := math.Hypot(p.P.X-Domain*0.1, p.P.Y-Domain*0.1)
+		db := math.Hypot(p.P.X-Domain*0.9, p.P.Y-Domain*0.9)
+		switch {
+		case da < 1000:
+			nearA++
+		case db < 1000:
+			nearB++
+		default:
+			t.Fatalf("point in the corridor: %+v", p)
+		}
+	}
+	if nearA < 150 || nearB < 150 {
+		t.Errorf("unbalanced clusters: %d / %d", nearA, nearB)
+	}
+}

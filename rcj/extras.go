@@ -1,0 +1,88 @@
+package rcj
+
+import (
+	"container/heap"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// VerifyPair checks the ring constraint for one specific candidate pair
+// without running the full join: it reports whether the smallest circle
+// enclosing p (from the p index's dataset) and q (from the q index's
+// dataset) covers no other point of either dataset. Use it to validate a
+// proposed middleman location.
+func VerifyPair(q, p *Index, pPoint, qPoint Point) (bool, error) {
+	return core.VerifyPair(q.tree, p.tree,
+		rtree.PointEntry{P: geom.Point{X: pPoint.X, Y: pPoint.Y}, ID: pPoint.ID},
+		rtree.PointEntry{P: geom.Point{X: qPoint.X, Y: qPoint.Y}, ID: qPoint.ID},
+		q == p)
+}
+
+// TopKByDiameter computes the k ring-constrained join pairs with the
+// smallest enclosing-circle diameters — the head of the paper's
+// tourist-recommendation browsing order — without materializing the full
+// result set. Pairs stream through a bounded max-heap; memory is O(k).
+// The returned slice is in ascending diameter order.
+func TopKByDiameter(q, p *Index, k int) ([]Pair, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	h := &diamHeap{}
+	_, _, err := Join(q, p, JoinOptions{OnPair: func(pr Pair) {
+		if h.Len() < k {
+			heap.Push(h, pr)
+			return
+		}
+		if pr.Radius < (*h)[0].Radius {
+			(*h)[0] = pr
+			heap.Fix(h, 0)
+		}
+	}})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Pair, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Pair)
+	}
+	return out, nil
+}
+
+// diamHeap is a max-heap of pairs by radius, holding the k smallest seen.
+type diamHeap []Pair
+
+func (h diamHeap) Len() int           { return len(h) }
+func (h diamHeap) Less(i, j int) bool { return h[i].Radius > h[j].Radius }
+func (h diamHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *diamHeap) Push(x any)        { *h = append(*h, x.(Pair)) }
+func (h *diamHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// IndexStats describes the physical shape of an index.
+type IndexStats struct {
+	// Points is the number of indexed points.
+	Points int
+	// Height is the number of tree levels (1 = the root is a leaf).
+	Height int
+	// Pages is the number of disk pages the index occupies.
+	Pages int
+	// PageSize is the page size in bytes.
+	PageSize int
+}
+
+// Stats returns the physical shape of the index.
+func (ix *Index) Stats() IndexStats {
+	return IndexStats{
+		Points:   ix.pts,
+		Height:   ix.tree.Height(),
+		Pages:    ix.tree.NumPages(),
+		PageSize: ix.pager.PageSize(),
+	}
+}

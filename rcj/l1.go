@@ -1,0 +1,54 @@
+package rcj
+
+import "repro/internal/core"
+
+// L1Pair is one Manhattan-metric ring-constrained join result: the two
+// matched points and their smallest enclosing L1 ball (a diamond). Center is
+// the fair middleman under Manhattan travel — the natural metric for grid
+// street networks, per the generalization the paper proposes in its future
+// work.
+type L1Pair struct {
+	P, Q   Point
+	Center Point
+	Radius float64 // L1 radius: Manhattan distance from Center to P and Q
+}
+
+// JoinL1 computes the Manhattan-metric ring-constrained join between the
+// datasets of q and p: all pairs whose smallest enclosing L1 ball contains
+// no other point of either dataset.
+func JoinL1(q, p *Index) ([]L1Pair, Stats, error) {
+	return runJoinL1(q, p, false)
+}
+
+// SelfJoinL1 computes the Manhattan-metric self-join of one dataset; each
+// unordered pair is reported once with P.ID < Q.ID.
+func SelfJoinL1(ix *Index) ([]L1Pair, Stats, error) {
+	return runJoinL1(ix, ix, true)
+}
+
+func runJoinL1(q, p *Index, self bool) ([]L1Pair, Stats, error) {
+	qBase, pBase := q.pool.Stats(), p.pool.Stats()
+	pairs, st, err := core.JoinL1(q.tree, p.tree, core.Options{SelfJoin: self, Collect: true})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make([]L1Pair, len(pairs))
+	for i, cp := range pairs {
+		out[i] = L1Pair{
+			P:      Point{X: cp.P.P.X, Y: cp.P.P.Y, ID: cp.P.ID},
+			Q:      Point{X: cp.Q.P.X, Y: cp.Q.P.Y, ID: cp.Q.ID},
+			Center: Point{X: cp.Ball.Center.X, Y: cp.Ball.Center.Y},
+			Radius: cp.Ball.Radius,
+		}
+	}
+	stats := Stats{Candidates: st.Candidates, Results: st.Results}
+	qNow := q.pool.Stats()
+	stats.PageFaults = qNow.Misses - qBase.Misses
+	stats.NodeAccesses = qNow.Accesses - qBase.Accesses
+	if p.pool != q.pool {
+		pNow := p.pool.Stats()
+		stats.PageFaults += pNow.Misses - pBase.Misses
+		stats.NodeAccesses += pNow.Accesses - pBase.Accesses
+	}
+	return out, stats, nil
+}

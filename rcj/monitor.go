@@ -1,0 +1,81 @@
+package rcj
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Monitor maintains a ring-constrained join incrementally as new points
+// arrive — the planning workflow where facilities open over time and the
+// set of fair middleman locations must stay current without recomputing
+// the join from scratch.
+//
+// Insertions are exact: AddP/AddQ return precisely the pairs created and
+// invalidated. Deletions are not supported (a removal can revive pairs
+// between arbitrarily distant points, defeating local maintenance); rebuild
+// the monitor instead.
+//
+// The monitor takes over its indexes: after NewMonitor, mutate the datasets
+// only through AddP/AddQ.
+type Monitor struct {
+	m    *core.Monitor
+	self bool
+}
+
+// NewMonitor computes the initial join between the datasets of q and p and
+// returns a monitor maintaining it.
+func NewMonitor(q, p *Index) (*Monitor, error) {
+	cm, err := core.NewMonitor(q.tree, p.tree)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{m: cm, self: q == p}, nil
+}
+
+// NewSelfMonitor maintains the self-join of one dataset (postboxes-style);
+// pairs are canonical (P.ID < Q.ID).
+func NewSelfMonitor(ix *Index) (*Monitor, error) {
+	cm, err := core.NewMonitor(ix.tree, ix.tree)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{m: cm, self: true}, nil
+}
+
+// Len returns the current number of pairs.
+func (mo *Monitor) Len() int { return mo.m.Len() }
+
+// Pairs returns a snapshot of the current result set (unspecified order).
+func (mo *Monitor) Pairs() []Pair {
+	raw := mo.m.Pairs()
+	out := make([]Pair, len(raw))
+	for i, p := range raw {
+		out[i] = fromCorePair(p)
+	}
+	return out
+}
+
+// AddP inserts a new point into dataset P, returning the pairs the
+// insertion created and the pairs it invalidated.
+func (mo *Monitor) AddP(p Point) (added, removed []Pair, err error) {
+	a, r, err := mo.m.AddP(geom.Point{X: p.X, Y: p.Y}, p.ID)
+	return convertPairs(a), convertPairs(r), err
+}
+
+// AddQ inserts a new point into dataset Q (equivalent to AddP for a
+// self-monitor).
+func (mo *Monitor) AddQ(q Point) (added, removed []Pair, err error) {
+	a, r, err := mo.m.AddQ(geom.Point{X: q.X, Y: q.Y}, q.ID)
+	return convertPairs(a), convertPairs(r), err
+}
+
+func convertPairs(raw []core.Pair) []Pair {
+	if raw == nil {
+		return nil
+	}
+	out := make([]Pair, len(raw))
+	for i, p := range raw {
+		out[i] = fromCorePair(p)
+	}
+	return out
+}

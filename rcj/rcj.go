@@ -1,0 +1,322 @@
+// Package rcj is the public API of the ring-constrained join library, a Go
+// implementation of "Ring-constrained Join: Deriving Fair Middleman
+// Locations from Pointsets via a Geometric Constraint" (Yiu, Karras,
+// Mamoulis — EDBT 2008).
+//
+// Given two pointsets P and Q, the ring-constrained join returns every pair
+// <p, q> whose smallest enclosing circle contains no other point of P ∪ Q.
+// Each result carries the circle's center — a location equidistant from p
+// and q that minimizes the maximum distance to both — making RCJ a
+// parameter-free way to derive fair "middleman" locations: recycling
+// stations between restaurants and residences, taxi stands between cinemas
+// and restaurants, postboxes among buildings (a self-join), and so on.
+//
+// Basic use:
+//
+//	restaurants, _ := rcj.BuildIndex(pointsP, rcj.IndexConfig{})
+//	residences, _ := rcj.BuildIndex(pointsQ, rcj.IndexConfig{})
+//	pairs, _, _ := rcj.Join(residences, restaurants, rcj.JoinOptions{})
+//	for _, pr := range pairs {
+//		fmt.Println("place a station at", pr.Center, "radius", pr.Radius)
+//	}
+//
+// The join runs on disk-page R*-trees through an LRU buffer manager, so its
+// statistics (page faults, node accesses, candidate counts) mirror the
+// paper's cost model. Indexes default to in-memory pages; see
+// IndexConfig.Path for file-backed indexes.
+package rcj
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// Point is an input location with a caller-assigned identifier. IDs must be
+// unique within one dataset; the two sides of a join have independent ID
+// namespaces.
+type Point struct {
+	X, Y float64
+	ID   int64
+}
+
+// Pair is one ring-constrained join result: the two matched points and
+// their smallest enclosing circle. Center is the derived fair middleman
+// location; Radius is its common distance to both endpoints, so 2·Radius is
+// the pair's "ring diameter" used for ranking.
+type Pair struct {
+	P, Q   Point
+	Center Point
+	Radius float64
+}
+
+// Diameter returns the diameter of the pair's enclosing circle.
+func (p Pair) Diameter() float64 { return 2 * p.Radius }
+
+// Algorithm selects the join evaluation strategy.
+type Algorithm = core.Algorithm
+
+// The paper's algorithms, from baseline to most optimized. OBJ wins in all
+// of the paper's experiments and is the default.
+const (
+	INJ   = core.AlgINJ
+	BIJ   = core.AlgBIJ
+	OBJ   = core.AlgOBJ
+	Brute = core.AlgBrute
+)
+
+// IndexConfig controls index construction.
+type IndexConfig struct {
+	// PageSize is the disk page size in bytes (default 1024, the paper's
+	// setting).
+	PageSize int
+	// InsertBuild builds the tree with one-by-one R* insertions instead of
+	// the default STR bulk load. Bulk loading is faster and yields more
+	// compact trees; insertion build exists for incremental workloads and
+	// for the build ablation.
+	InsertBuild bool
+	// BufferPages bounds the index's LRU node buffer; 0 means unbounded
+	// (everything cached), negative also means unbounded.
+	BufferPages int
+	// Path, when non-empty, stores index pages in the file at this path
+	// instead of memory.
+	Path string
+}
+
+// Index is an immutable spatial index over one dataset, ready to join.
+type Index struct {
+	tree  *rtree.Tree
+	pager storage.Pager
+	pool  *buffer.Pool
+	pts   int
+}
+
+// ErrNoPoints is returned when building an index from an empty slice.
+var ErrNoPoints = errors.New("rcj: no points to index")
+
+// BuildIndex indexes the points in an R*-tree.
+func BuildIndex(points []Point, cfg IndexConfig) (*Index, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = storage.DefaultPageSize
+	}
+	seen := make(map[int64]struct{}, len(points))
+	entries := make([]rtree.PointEntry, len(points))
+	for i, p := range points {
+		if _, dup := seen[p.ID]; dup {
+			return nil, fmt.Errorf("rcj: duplicate point ID %d", p.ID)
+		}
+		seen[p.ID] = struct{}{}
+		entries[i] = rtree.PointEntry{P: geom.Point{X: p.X, Y: p.Y}, ID: p.ID}
+	}
+
+	var pager storage.Pager
+	if cfg.Path != "" {
+		fp, err := storage.CreateFilePager(cfg.Path, cfg.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		pager = fp
+	} else {
+		pager = storage.NewMemPager(cfg.PageSize)
+	}
+	capacity := cfg.BufferPages
+	if capacity <= 0 {
+		capacity = -1
+	}
+	pool := buffer.NewPool(capacity)
+	tree, err := rtree.New(pager, pool, rtree.Config{PageSize: cfg.PageSize})
+	if err != nil {
+		pager.Close()
+		return nil, err
+	}
+	if cfg.InsertBuild {
+		for _, e := range entries {
+			if err := tree.Insert(e.P, e.ID); err != nil {
+				pager.Close()
+				return nil, err
+			}
+		}
+	} else if err := tree.BulkLoad(entries, 0); err != nil {
+		pager.Close()
+		return nil, err
+	}
+	return &Index{tree: tree, pager: pager, pool: pool, pts: len(points)}, nil
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return ix.pts }
+
+// Points returns all indexed points (in index leaf order).
+func (ix *Index) Points() ([]Point, error) {
+	entries, err := ix.tree.ScanAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Point, len(entries))
+	for i, e := range entries {
+		out[i] = Point{X: e.P.X, Y: e.P.Y, ID: e.ID}
+	}
+	return out, nil
+}
+
+// NearestNeighbor returns the indexed point closest to (x, y).
+func (ix *Index) NearestNeighbor(x, y float64) (Point, error) {
+	e, err := ix.tree.NearestNeighbor(geom.Point{X: x, Y: y})
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{X: e.P.X, Y: e.P.Y, ID: e.ID}, nil
+}
+
+// Close releases the index's storage (and closes its page file, if any).
+func (ix *Index) Close() error { return ix.pager.Close() }
+
+// Stats summarizes what a join run did; see the fields for the paper
+// concepts they correspond to.
+type Stats struct {
+	// Candidates is the number of pairs that survived the filter step and
+	// were verified (Table 4's candidate counts).
+	Candidates int64
+	// Results is the number of result pairs.
+	Results int64
+	// PageFaults counts buffer misses across both indexes during the join.
+	PageFaults int64
+	// NodeAccesses counts logical R-tree node reads, the paper's CPU
+	// proxy.
+	NodeAccesses int64
+}
+
+// JoinOptions tunes a join. The zero value runs OBJ, the paper's best
+// algorithm, and collects all pairs.
+type JoinOptions struct {
+	// Algorithm picks the strategy; zero value (INJ) is overridden to OBJ
+	// unless ForceAlgorithm is set, because OBJ dominates in every
+	// experiment.
+	Algorithm Algorithm
+	// ForceAlgorithm uses Algorithm verbatim even when it is the zero
+	// value (INJ).
+	ForceAlgorithm bool
+	// SortByDiameter orders the returned pairs by ascending ring diameter
+	// (the paper's tourist-recommendation browsing order).
+	SortByDiameter bool
+	// Parallelism, when > 1, runs the join across that many goroutines.
+	// The result set is identical; its order is not deterministic (apply
+	// SortByDiameter for a stable order).
+	Parallelism int
+	// OnPair, when non-nil, streams pairs as found; the returned slice is
+	// then nil (streaming mode).
+	OnPair func(Pair)
+}
+
+func (o JoinOptions) algorithm() Algorithm {
+	if !o.ForceAlgorithm && o.Algorithm == core.AlgINJ {
+		return core.AlgOBJ
+	}
+	return o.Algorithm
+}
+
+// Join computes the ring-constrained join between the datasets of p and q:
+// all pairs <pi, qj> whose smallest enclosing circle contains no other point
+// of either dataset.
+func Join(q, p *Index, opts JoinOptions) ([]Pair, Stats, error) {
+	return runJoin(q, p, opts, false)
+}
+
+// SelfJoin computes the ring-constrained self-join of one dataset (the
+// paper's postboxes scenario): unordered pairs of distinct points whose
+// enclosing circle contains no other dataset point. Each pair is reported
+// once with P.ID < Q.ID.
+func SelfJoin(ix *Index, opts JoinOptions) ([]Pair, Stats, error) {
+	return runJoin(ix, ix, opts, true)
+}
+
+func runJoin(q, p *Index, opts JoinOptions, self bool) ([]Pair, Stats, error) {
+	qBase, pBase := q.pool.Stats(), p.pool.Stats()
+	coreOpts := core.Options{
+		Algorithm:   opts.algorithm(),
+		SelfJoin:    self,
+		Collect:     opts.OnPair == nil,
+		Parallelism: opts.Parallelism,
+	}
+	if opts.OnPair != nil {
+		coreOpts.OnPair = func(cp core.Pair) { opts.OnPair(fromCorePair(cp)) }
+	}
+	pairs, st, err := core.Join(q.tree, p.tree, coreOpts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var out []Pair
+	if coreOpts.Collect {
+		out = make([]Pair, len(pairs))
+		for i, cp := range pairs {
+			out[i] = fromCorePair(cp)
+		}
+		if opts.SortByDiameter {
+			SortPairsByDiameter(out)
+		}
+	}
+	stats := Stats{Candidates: st.Candidates, Results: st.Results}
+	qNow := q.pool.Stats()
+	stats.PageFaults = qNow.Misses - qBase.Misses
+	stats.NodeAccesses = qNow.Accesses - qBase.Accesses
+	if p.pool != q.pool {
+		pNow := p.pool.Stats()
+		stats.PageFaults += pNow.Misses - pBase.Misses
+		stats.NodeAccesses += pNow.Accesses - pBase.Accesses
+	}
+	return out, stats, nil
+}
+
+func fromCorePair(cp core.Pair) Pair {
+	return Pair{
+		P:      Point{X: cp.P.P.X, Y: cp.P.P.Y, ID: cp.P.ID},
+		Q:      Point{X: cp.Q.P.X, Y: cp.Q.P.Y, ID: cp.Q.ID},
+		Center: Point{X: cp.Circle.Center.X, Y: cp.Circle.Center.Y},
+		Radius: cp.Circle.Radius,
+	}
+}
+
+// SortPairsByDiameter orders pairs by ascending enclosing-circle diameter,
+// breaking ties by (P.ID, Q.ID) for determinism. Browsing this order, the
+// tightest (most convenient) middleman locations come first.
+func SortPairsByDiameter(pairs []Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Radius != pairs[j].Radius {
+			return pairs[i].Radius < pairs[j].Radius
+		}
+		if pairs[i].P.ID != pairs[j].P.ID {
+			return pairs[i].P.ID < pairs[j].P.ID
+		}
+		return pairs[i].Q.ID < pairs[j].Q.ID
+	})
+}
+
+// RankPairsByWeight orders pairs by descending combined weight, where weight
+// assigns a score to each endpoint (the paper's school-bus scenario ranks
+// estate pairs by the number of children). Ties break by ascending diameter
+// then IDs.
+func RankPairsByWeight(pairs []Pair, weight func(Point) float64) {
+	score := func(pr Pair) float64 { return weight(pr.P) + weight(pr.Q) }
+	sort.Slice(pairs, func(i, j int) bool {
+		si, sj := score(pairs[i]), score(pairs[j])
+		if si != sj {
+			return si > sj
+		}
+		if pairs[i].Radius != pairs[j].Radius {
+			return pairs[i].Radius < pairs[j].Radius
+		}
+		if pairs[i].P.ID != pairs[j].P.ID {
+			return pairs[i].P.ID < pairs[j].P.ID
+		}
+		return pairs[i].Q.ID < pairs[j].Q.ID
+	})
+}

@@ -1,0 +1,143 @@
+// Package rcjnet is the public API of the road-network ring-constrained
+// join — the generalization of RCJ to shortest-path distance that the paper
+// proposes as future work (Section 6).
+//
+// Points live on the nodes of an undirected weighted road graph. A pair
+// <p, q> qualifies when the network ball — centered at the midpoint of a
+// shortest p–q path with radius half the path length — contains no other
+// point of either dataset. The ball center is the fair middleman location
+// in driving distance: equidistant from p and q along the roads.
+//
+//	g := rcjnet.NewGraph(numIntersections)
+//	g.AddRoad(a, b, lengthMeters)
+//	pairs, _, _ := rcjnet.Join(g, cinemas, restaurants)
+package rcjnet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/roadnet"
+)
+
+// NodeID identifies a road-graph node (an intersection).
+type NodeID = roadnet.NodeID
+
+// Point is a dataset point: a caller-assigned id and the node it sits on.
+// IDs must be unique within one dataset.
+type Point struct {
+	ID   int64
+	Node NodeID
+}
+
+// Graph is an undirected weighted road network.
+type Graph struct {
+	g *roadnet.Graph
+}
+
+// NewGraph returns a road network with n isolated intersections.
+func NewGraph(n int) (*Graph, error) {
+	g, err := roadnet.NewGraph(n, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// NewEmbeddedGraph returns a road network whose intersections carry 2D
+// coordinates (used only for Locate/visualization; join semantics are
+// purely metric).
+func NewEmbeddedGraph(coords [][2]float64) (*Graph, error) {
+	pos := make([]geom.Point, len(coords))
+	for i, c := range coords {
+		pos[i] = geom.Point{X: c[0], Y: c[1]}
+	}
+	g, err := roadnet.NewGraph(len(coords), pos)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// AddRoad adds an undirected road of the given positive length between two
+// intersections.
+func (gr *Graph) AddRoad(a, b NodeID, length float64) error {
+	return gr.g.AddEdge(a, b, length)
+}
+
+// NumNodes returns the number of intersections.
+func (gr *Graph) NumNodes() int { return gr.g.NumNodes() }
+
+// Distance returns the shortest-path distance between two intersections
+// (ok is false when disconnected).
+func (gr *Graph) Distance(a, b NodeID) (float64, bool) {
+	d, _, ok := gr.g.ShortestPath(a, b, math.Inf(1))
+	return d, ok
+}
+
+// Pair is one network-RCJ result. Stand describes the middleman location:
+// it lies on the road from StandU toward StandV, StandOffset along it; for
+// a location exactly at an intersection StandU == StandV. WalkEach is the
+// network distance from the stand to each of the two points.
+type Pair struct {
+	P, Q        Point
+	NetworkDist float64
+	StandU      NodeID
+	StandV      NodeID
+	StandOffset float64
+	WalkEach    float64
+}
+
+// Stats reports the work a network join performed.
+type Stats struct {
+	Candidates   int64
+	Results      int64
+	SettledNodes int64
+}
+
+// Join computes the network ring-constrained join of datasets P and Q over
+// the road graph.
+func Join(gr *Graph, P, Q []Point) ([]Pair, Stats, error) {
+	pRefs, err := toRefs(gr, P)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	qRefs, err := toRefs(gr, Q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	raw, st, err := roadnet.Join(gr.g, pRefs, qRefs)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make([]Pair, len(raw))
+	for i, p := range raw {
+		out[i] = Pair{
+			P:           Point{ID: p.P.ID, Node: p.P.Node},
+			Q:           Point{ID: p.Q.ID, Node: p.Q.Node},
+			NetworkDist: p.Dist,
+			StandU:      p.Center.U,
+			StandV:      p.Center.V,
+			StandOffset: p.Center.OffU,
+			WalkEach:    p.Radius,
+		}
+	}
+	return out, Stats{Candidates: st.Candidates, Results: st.Results, SettledNodes: st.SettledNodes}, nil
+}
+
+func toRefs(gr *Graph, pts []Point) ([]roadnet.PointRef, error) {
+	seen := make(map[int64]struct{}, len(pts))
+	out := make([]roadnet.PointRef, len(pts))
+	for i, p := range pts {
+		if int(p.Node) < 0 || int(p.Node) >= gr.g.NumNodes() {
+			return nil, fmt.Errorf("rcjnet: point %d on unknown node %d", p.ID, p.Node)
+		}
+		if _, dup := seen[p.ID]; dup {
+			return nil, fmt.Errorf("rcjnet: duplicate point ID %d", p.ID)
+		}
+		seen[p.ID] = struct{}{}
+		out[i] = roadnet.PointRef{ID: p.ID, Node: p.Node}
+	}
+	return out, nil
+}
