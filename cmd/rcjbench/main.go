@@ -13,10 +13,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/exp"
@@ -31,7 +35,12 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Scale: *scale, BufferFrac: *bufferFrac, PageSize: *pageSize, W: os.Stdout}
+	// Ctrl-C cancels the in-flight join instead of killing mid-sweep: the
+	// experiment drivers thread this context into every core.JoinContext.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := exp.Config{Scale: *scale, BufferFrac: *bufferFrac, PageSize: *pageSize, W: os.Stdout, Ctx: ctx}
 
 	type experiment struct {
 		name string
@@ -63,6 +72,10 @@ func main() {
 		ran = true
 		start := time.Now()
 		if err := e.run(cfg); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "rcjbench: %s: interrupted\n", e.name)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "rcjbench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}

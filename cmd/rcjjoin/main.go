@@ -7,20 +7,27 @@
 //	rcjjoin -p restaurants.csv -q residences.csv > stations.csv
 //	rcjjoin -p buildings.csv -self > postboxes.csv         # self-join
 //	rcjjoin -p a.csv -q b.csv -metric l1 -sort             # Manhattan, sorted
+//	rcjjoin -p a.csv -q b.csv -parallel 8                  # multi-core join
 //
 // Input rows are "id,x,y" or "x,y" (ids assigned in file order). Output rows
-// are "p_id,q_id,center_x,center_y,radius", one per RCJ pair, optionally in
-// ascending ring-diameter order (-sort).
+// are "p_id,q_id,center_x,center_y,radius", one per RCJ pair. Results stream
+// as the join finds them; -sort buffers them for ascending ring-diameter
+// order instead. Interrupting the process (Ctrl-C) cancels the join cleanly.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
+	"iter"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
+	"syscall"
 
 	"repro/internal/workload"
 	"repro/rcj"
@@ -28,12 +35,14 @@ import (
 
 func main() {
 	var (
-		pPath  = flag.String("p", "", "CSV file of dataset P (required)")
-		qPath  = flag.String("q", "", "CSV file of dataset Q (omit with -self)")
-		self   = flag.Bool("self", false, "compute the self-join of P")
-		metric = flag.String("metric", "l2", "distance metric: l2 (Euclidean) or l1 (Manhattan)")
-		sorted = flag.Bool("sort", false, "sort output by ascending ring diameter")
-		algStr = flag.String("alg", "obj", "algorithm: inj, bij, obj")
+		pPath    = flag.String("p", "", "CSV file of dataset P (required)")
+		qPath    = flag.String("q", "", "CSV file of dataset Q (omit with -self)")
+		self     = flag.Bool("self", false, "compute the self-join of P")
+		metric   = flag.String("metric", "l2", "distance metric: l2 (Euclidean) or l1 (Manhattan)")
+		sorted   = flag.Bool("sort", false, "sort output by ascending ring diameter (buffers all pairs)")
+		algStr   = flag.String("alg", "obj", "algorithm: inj, bij, obj")
+		parallel = flag.Int("parallel", 1, "worker goroutines for the join")
+		bufPages = flag.Int("buffer", 0, "shared buffer pool size in pages (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -48,7 +57,11 @@ func main() {
 		fatalf("unknown algorithm %q", *algStr)
 	}
 
-	ixP := loadIndex(*pPath)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	eng := rcj.NewEngine(rcj.EngineConfig{BufferPages: *bufPages})
+	ixP := loadIndex(eng, *pPath)
 	defer ixP.Close()
 
 	out := bufio.NewWriter(os.Stdout)
@@ -58,27 +71,59 @@ func main() {
 
 	switch *metric {
 	case "l2":
-		var (
-			pairs []rcj.Pair
-			stats rcj.Stats
-			err   error
-		)
-		opts := rcj.JoinOptions{Algorithm: alg, ForceAlgorithm: true, SortByDiameter: *sorted}
+		opts := rcj.JoinOptions{Algorithm: alg, ForceAlgorithm: true, Parallelism: *parallel}
+		if *sorted {
+			// Materialize, sort, then write.
+			opts.SortByDiameter = true
+			var (
+				pairs []rcj.Pair
+				stats rcj.Stats
+				err   error
+			)
+			if *self {
+				pairs, stats, err = eng.SelfJoinCollect(ctx, ixP, opts)
+			} else {
+				ixQ := loadIndex(eng, *qPath)
+				defer ixQ.Close()
+				pairs, stats, err = eng.JoinCollect(ctx, ixQ, ixP, opts)
+			}
+			if err != nil {
+				fatalf("join: %v", err)
+			}
+			for _, pr := range pairs {
+				writePair(cw, pr.P.ID, pr.Q.ID, pr.Center.X, pr.Center.Y, pr.Radius)
+			}
+			fmt.Fprintf(os.Stderr, "rcjjoin: %d pairs (%d candidates verified, %d page faults)\n",
+				stats.Results, stats.Candidates, stats.PageFaults)
+			return
+		}
+		// Streaming mode: rows go out as the join confirms them.
+		var seq iter.Seq2[rcj.Pair, error]
 		if *self {
-			pairs, stats, err = rcj.SelfJoin(ixP, opts)
+			seq = eng.SelfJoin(ctx, ixP, opts)
 		} else {
-			ixQ := loadIndex(*qPath)
+			ixQ := loadIndex(eng, *qPath)
 			defer ixQ.Close()
-			pairs, stats, err = rcj.Join(ixQ, ixP, opts)
+			seq = eng.Join(ctx, ixQ, ixP, opts)
 		}
-		if err != nil {
-			fatalf("join: %v", err)
-		}
-		for _, pr := range pairs {
+		base := eng.BufferStats() // join-only fault delta, excluding index builds
+		results := 0
+		for pr, err := range seq {
+			if err != nil {
+				// fatalf exits without running the deferred flushes; push the
+				// already-streamed rows out so the file matches the count.
+				cw.Flush()
+				out.Flush()
+				if errors.Is(err, context.Canceled) {
+					fatalf("join cancelled after %d pairs", results)
+				}
+				fatalf("join: %v", err)
+			}
 			writePair(cw, pr.P.ID, pr.Q.ID, pr.Center.X, pr.Center.Y, pr.Radius)
+			results++
 		}
-		fmt.Fprintf(os.Stderr, "rcjjoin: %d pairs (%d candidates verified, %d page faults)\n",
-			stats.Results, stats.Candidates, stats.PageFaults)
+		faults := eng.BufferStats().Faults() - base.Faults()
+		fmt.Fprintf(os.Stderr, "rcjjoin: %d pairs streamed (%d page faults)\n", results, faults)
 	case "l1":
 		var (
 			pairs []rcj.L1Pair
@@ -86,13 +131,16 @@ func main() {
 			err   error
 		)
 		if *self {
-			pairs, stats, err = rcj.SelfJoinL1(ixP)
+			pairs, stats, err = rcj.SelfJoinL1Context(ctx, ixP)
 		} else {
-			ixQ := loadIndex(*qPath)
+			ixQ := loadIndex(eng, *qPath)
 			defer ixQ.Close()
-			pairs, stats, err = rcj.JoinL1(ixQ, ixP)
+			pairs, stats, err = rcj.JoinL1Context(ctx, ixQ, ixP)
 		}
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fatalf("join cancelled")
+			}
 			fatalf("join: %v", err)
 		}
 		if *sorted {
@@ -108,7 +156,7 @@ func main() {
 	}
 }
 
-func loadIndex(path string) *rcj.Index {
+func loadIndex(eng *rcj.Engine, path string) *rcj.Index {
 	f, err := os.Open(path)
 	if err != nil {
 		fatalf("%v", err)
@@ -122,7 +170,7 @@ func loadIndex(path string) *rcj.Index {
 	for i, e := range entries {
 		pts[i] = rcj.Point{X: e.P.X, Y: e.P.Y, ID: e.ID}
 	}
-	ix, err := rcj.BuildIndex(pts, rcj.IndexConfig{})
+	ix, err := eng.BuildIndex(pts, rcj.IndexConfig{})
 	if err != nil {
 		fatalf("index %s: %v", path, err)
 	}

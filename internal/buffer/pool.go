@@ -8,10 +8,19 @@
 // One pool may be shared by several trees (as in the paper, where both join
 // inputs compete for the same buffer); cache keys carry an owner id to keep
 // their page spaces apart.
+//
+// A Pool is divided into independently-locked LRU shards so that concurrent
+// joins sharing one pool do not contend on a single mutex. NewPool builds a
+// single-shard pool whose replacement behavior is exactly the paper's global
+// LRU (and deterministic, which the experiment harness relies on);
+// NewShardedPool spreads the capacity over several shards for concurrent
+// serving, approximating global LRU per hash partition while keeping the
+// aggregate Stats exact via per-shard counters.
 package buffer
 
 import (
 	"container/list"
+	"runtime"
 	"sync"
 
 	"repro/internal/storage"
@@ -44,68 +53,176 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
+// add accumulates o into s.
+func (s *Stats) add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+}
+
 type entry struct {
 	key   Key
 	value any
 }
 
-// Pool is an LRU cache of deserialized R-tree nodes keyed by (owner, page).
-// A capacity of zero disables caching entirely (every access faults); a
-// negative capacity means unbounded. Pool is safe for concurrent use.
-type Pool struct {
+// shard is one independently-locked LRU partition of a Pool.
+type shard struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used
 	items    map[Key]*list.Element
 	stats    Stats
+	_        [64]byte // keep neighboring shards' hot fields off one cache line
 }
 
-// NewPool returns a pool that holds at most capacity nodes.
+// Pool is an LRU cache of deserialized R-tree nodes keyed by (owner, page),
+// partitioned into hash shards. A capacity of zero disables caching entirely
+// (every access faults); a negative capacity means unbounded. Pool is safe
+// for concurrent use.
+type Pool struct {
+	shards []shard
+	mask   uint32
+}
+
+// NewPool returns a single-shard pool that holds at most capacity nodes,
+// with exact global-LRU replacement.
 func NewPool(capacity int) *Pool {
-	return &Pool{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[Key]*list.Element),
+	return NewShardedPool(capacity, 1)
+}
+
+// NewShardedPool returns a pool whose capacity is spread over the given
+// number of independently-locked LRU shards (rounded up to a power of two;
+// values < 1 select DefaultShards). More shards reduce lock contention for
+// concurrent workloads at the cost of per-partition rather than global LRU
+// replacement. A bounded capacity caps the shard count: every shard must
+// hold at least one node, because a zero-capacity shard would disable
+// caching for its whole hash partition.
+func NewShardedPool(capacity, shards int) *Pool {
+	if shards < 1 {
+		shards = DefaultShards()
 	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if capacity >= 0 {
+		for n > 1 && n > capacity {
+			n >>= 1
+		}
+	}
+	p := &Pool{shards: make([]shard, n), mask: uint32(n - 1)}
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.capacity = shardCapacity(capacity, i, n)
+		s.ll = list.New()
+		s.items = make(map[Key]*list.Element)
+	}
+	return p
 }
 
-// Capacity returns the pool's node capacity.
+// DefaultShards is the shard count NewShardedPool uses when asked for an
+// automatic choice: the smallest power of two covering the usable CPUs,
+// capped at 64.
+func DefaultShards() int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n <<= 1
+	}
+	return n
+}
+
+// shardCapacity splits a total capacity over n shards: shard i receives an
+// equal share with the remainder going to the lowest-indexed shards.
+// Unbounded (< 0) and disabled (0) totals apply to every shard.
+func shardCapacity(total, i, n int) int {
+	if total < 0 {
+		return -1
+	}
+	c := total / n
+	if i < total%n {
+		c++
+	}
+	return c
+}
+
+// Shards returns the number of LRU shards.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// shardFor maps a key to its shard.
+func (p *Pool) shardFor(k Key) *shard {
+	if p.mask == 0 {
+		return &p.shards[0]
+	}
+	h := uint64(k.Owner)*0x9E3779B97F4A7C15 ^ uint64(k.Page)*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return &p.shards[uint32(h)&p.mask]
+}
+
+// Capacity returns the pool's total node capacity (negative = unbounded).
 func (p *Pool) Capacity() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.capacity
+	total := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		c := s.capacity
+		s.mu.Unlock()
+		if c < 0 {
+			return -1
+		}
+		total += c
+	}
+	return total
 }
 
-// Resize changes the capacity, evicting LRU entries as needed.
+// Resize changes the total capacity, evicting LRU entries as needed. The
+// shard count is fixed at construction, so resizing a sharded pool below
+// its shard count floors every shard at one node (slightly exceeding the
+// requested total) rather than disabling caching for whole partitions;
+// Capacity reports the effective sum.
 func (p *Pool) Resize(capacity int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.capacity = capacity
-	p.evictOverflow()
+	n := len(p.shards)
+	for i := range p.shards {
+		s := &p.shards[i]
+		c := shardCapacity(capacity, i, n)
+		if capacity > 0 && c < 1 {
+			c = 1
+		}
+		s.mu.Lock()
+		s.capacity = c
+		s.evictOverflow()
+		s.mu.Unlock()
+	}
 }
 
 // Len returns the number of cached nodes.
 func (p *Pool) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.ll.Len()
+	total := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		total += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // Get returns the cached value for k, calling load to fetch and deserialize
-// it on a miss. The loaded value is cached (unless capacity is zero) and the
-// access is counted either way.
+// it on a miss. The loaded value is cached (unless the shard's capacity is
+// zero) and the access is counted either way.
 func (p *Pool) Get(k Key, load func() (any, error)) (any, error) {
-	p.mu.Lock()
-	p.stats.Accesses++
-	if el, ok := p.items[k]; ok {
-		p.stats.Hits++
-		p.ll.MoveToFront(el)
+	s := p.shardFor(k)
+	s.mu.Lock()
+	s.stats.Accesses++
+	if el, ok := s.items[k]; ok {
+		s.stats.Hits++
+		s.ll.MoveToFront(el)
 		v := el.Value.(*entry).value
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return v, nil
 	}
-	p.stats.Misses++
-	p.mu.Unlock()
+	s.stats.Misses++
+	s.mu.Unlock()
 
 	// Load outside the lock: loads hit the pager, which has its own locking,
 	// and may be slow for file-backed pagers.
@@ -114,103 +231,119 @@ func (p *Pool) Get(k Key, load func() (any, error)) (any, error) {
 		return nil, err
 	}
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.capacity == 0 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capacity == 0 {
 		return v, nil
 	}
-	if el, ok := p.items[k]; ok {
+	if el, ok := s.items[k]; ok {
 		// Another goroutine cached it meanwhile; prefer the existing value.
-		p.ll.MoveToFront(el)
+		s.ll.MoveToFront(el)
 		return el.Value.(*entry).value, nil
 	}
-	el := p.ll.PushFront(&entry{key: k, value: v})
-	p.items[k] = el
-	p.evictOverflow()
+	el := s.ll.PushFront(&entry{key: k, value: v})
+	s.items[k] = el
+	s.evictOverflow()
 	return v, nil
 }
 
 // Put inserts or refreshes a cached value, used when a node is (re)written so
 // readers observe the new version.
 func (p *Pool) Put(k Key, v any) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.capacity == 0 {
+	s := p.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capacity == 0 {
 		return
 	}
-	if el, ok := p.items[k]; ok {
+	if el, ok := s.items[k]; ok {
 		el.Value.(*entry).value = v
-		p.ll.MoveToFront(el)
+		s.ll.MoveToFront(el)
 		return
 	}
-	el := p.ll.PushFront(&entry{key: k, value: v})
-	p.items[k] = el
-	p.evictOverflow()
+	el := s.ll.PushFront(&entry{key: k, value: v})
+	s.items[k] = el
+	s.evictOverflow()
 }
 
 // Invalidate removes k from the cache if present.
 func (p *Pool) Invalidate(k Key) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if el, ok := p.items[k]; ok {
-		p.ll.Remove(el)
-		delete(p.items, k)
+	s := p.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		s.ll.Remove(el)
+		delete(s.items, k)
 	}
 }
 
 // InvalidateOwner removes every cached node belonging to owner, used when a
-// tree is rebuilt.
+// tree is rebuilt or an index detaches from a shared pool.
 func (p *Pool) InvalidateOwner(owner uint32) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for el := p.ll.Front(); el != nil; {
-		next := el.Next()
-		e := el.Value.(*entry)
-		if e.key.Owner == owner {
-			p.ll.Remove(el)
-			delete(p.items, e.key)
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; {
+			next := el.Next()
+			e := el.Value.(*entry)
+			if e.key.Owner == owner {
+				s.ll.Remove(el)
+				delete(s.items, e.key)
+			}
+			el = next
 		}
-		el = next
+		s.mu.Unlock()
 	}
 }
 
 // Clear empties the cache without touching the counters.
 func (p *Pool) Clear() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.ll.Init()
-	p.items = make(map[Key]*list.Element)
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		s.ll.Init()
+		s.items = make(map[Key]*list.Element)
+		s.mu.Unlock()
+	}
 }
 
-// Stats returns cumulative access counters.
+// Stats returns cumulative access counters, summed exactly over the shards.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var total Stats
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		total.add(s.stats)
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // ResetStats zeroes the counters, typically between the build phase and the
 // measured join phase of an experiment.
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		s.stats = Stats{}
+		s.mu.Unlock()
+	}
 }
 
-// evictOverflow drops LRU entries until the pool fits its capacity.
-// Caller must hold p.mu.
-func (p *Pool) evictOverflow() {
-	if p.capacity < 0 {
+// evictOverflow drops LRU entries until the shard fits its capacity.
+// Caller must hold s.mu.
+func (s *shard) evictOverflow() {
+	if s.capacity < 0 {
 		return
 	}
-	for p.ll.Len() > p.capacity {
-		el := p.ll.Back()
+	for s.ll.Len() > s.capacity {
+		el := s.ll.Back()
 		if el == nil {
 			return
 		}
 		e := el.Value.(*entry)
-		p.ll.Remove(el)
-		delete(p.items, e.key)
-		p.stats.Evictions++
+		s.ll.Remove(el)
+		delete(s.items, e.key)
+		s.stats.Evictions++
 	}
 }

@@ -1,0 +1,57 @@
+package buffer
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPoolParallel measures concurrent Get throughput against pools
+// with increasing shard counts — the single-lock (shards=1) row is the
+// pre-sharding design. The access pattern models a parallel join: each
+// goroutine walks its own mostly-cached working set over a shared pool.
+func BenchmarkPoolParallel(b *testing.B) {
+	const (
+		pages    = 4096
+		capacity = pages // fully cached: isolates lock contention from faults
+	)
+	for _, shards := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			p := NewShardedPool(capacity, shards)
+			for i := 0; i < pages; i++ {
+				p.Get(key(1, i), load(i))
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					k := key(1, (i*31)%pages)
+					if _, err := p.Get(k, load(i)); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkPoolParallelFaulting is the bounded-buffer variant: 25% capacity
+// forces constant eviction traffic, the worst case for a single lock.
+func BenchmarkPoolParallelFaulting(b *testing.B) {
+	const pages = 4096
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			p := NewShardedPool(pages/4, shards)
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					k := key(1, (i*31)%pages)
+					if _, err := p.Get(k, load(i)); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
+}

@@ -5,51 +5,26 @@ import (
 	"repro/internal/rtree"
 )
 
-// runBulk is Algorithm 6 (bulk index nested loop join) and, with symmetric
-// pruning, its OBJ optimization: each TQ leaf is processed as a unit — one
-// bulk filter traversal of TP for all its points, then one verification pass
-// per tree over all the leaf's candidate circles.
-func (j *joiner) runBulk(symmetric bool) ([]Pair, Stats, error) {
-	err := j.forEachQLeaf(func(n *rtree.Node) error {
-		return j.joinLeaf(n.Points, symmetric)
-	})
-	return j.out, j.stats, err
-}
-
-// joinLeaf runs Lines 3–17 of Algorithm 6 for the points of one TQ leaf.
-func (j *joiner) joinLeaf(leafPoints []rtree.PointEntry, symmetric bool) error {
-	queries, err := j.bulkFilter(leafPoints, symmetric)
-	if err != nil {
-		return err
-	}
-	var cands []*candidate
-	for _, bq := range queries {
-		for _, p := range bq.cands {
-			cands = append(cands, &candidate{
-				pair:  Pair{P: p, Q: bq.q, Circle: geom.EnclosingCircle(p.P, bq.q.P)},
-				alive: true,
-			})
-		}
-	}
-	j.stats.Candidates += int64(len(cands))
-	if !j.opts.SkipVerification {
-		if err := j.verify(j.tq, cands, sideQ); err != nil {
+// bulkFilterStage is Algorithm 6's per-leaf pipeline (and, with symmetric
+// pruning, its OBJ optimization): each TQ leaf is processed as a unit — one
+// bulk filter traversal of TP for all its points, then one candidate batch
+// covering the whole leaf so verification runs once per tree over all the
+// leaf's circles.
+func bulkFilterStage(symmetric bool) filterStage {
+	return func(j *joiner, leafPoints []rtree.PointEntry, sink func([]*candidate) error) error {
+		queries, err := j.bulkFilter(leafPoints, symmetric)
+		if err != nil {
 			return err
 		}
-		if !j.sameTree() {
-			if err := j.verify(j.tp, cands, sideP); err != nil {
-				return err
+		var cands []*candidate
+		for _, bq := range queries {
+			for _, p := range bq.cands {
+				cands = append(cands, &candidate{
+					pair:  Pair{P: p, Q: bq.q, Circle: geom.EnclosingCircle(p.P, bq.q.P)},
+					alive: true,
+				})
 			}
 		}
+		return sink(cands)
 	}
-	for _, c := range cands {
-		if !c.alive {
-			continue
-		}
-		if j.opts.SelfJoin && !j.keepSelfPair(c.pair.P, c.pair.Q) {
-			continue
-		}
-		j.emit(c.pair)
-	}
-	return nil
 }

@@ -11,17 +11,20 @@ import (
 // candidate count is |P|·|Q| (Table 4's BRUTE row). It exists as the ground
 // truth the index algorithms are validated against and is only practical on
 // small inputs.
-func (j *joiner) runBrute() ([]Pair, Stats, error) {
+func (j *joiner) runBrute() error {
 	ps, err := j.tp.ScanAll()
 	if err != nil {
-		return nil, j.stats, err
+		return err
 	}
 	qs, err := j.tq.ScanAll()
 	if err != nil {
-		return nil, j.stats, err
+		return err
 	}
 	j.stats.Candidates = int64(len(ps)) * int64(len(qs))
 	for _, q := range qs {
+		if err := j.ctxErr(); err != nil {
+			return err
+		}
 		for _, p := range ps {
 			if j.opts.SelfJoin {
 				if p.ID == q.ID {
@@ -35,7 +38,7 @@ func (j *joiner) runBrute() ([]Pair, Stats, error) {
 			if !j.opts.SkipVerification {
 				ok, err := j.bruteValid(p, q, c)
 				if err != nil {
-					return nil, j.stats, err
+					return err
 				}
 				if !ok {
 					continue
@@ -44,7 +47,7 @@ func (j *joiner) runBrute() ([]Pair, Stats, error) {
 			j.emit(Pair{P: p, Q: q, Circle: c})
 		}
 	}
-	return j.out, j.stats, nil
+	return nil
 }
 
 // bruteValid verifies one pair with circle range searches on both trees.

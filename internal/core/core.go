@@ -23,6 +23,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/geom"
 	"repro/internal/rtree"
 	"repro/internal/storage"
@@ -151,23 +153,27 @@ type Stats struct {
 // (the outer input Q) and tp (the inner input P), returning the result pairs
 // (nil unless opts.Collect) and run statistics.
 func Join(tq, tp SpatialIndex, opts Options) ([]Pair, Stats, error) {
-	j := &joiner{tq: tq, tp: tp, opts: opts}
-	switch {
-	case opts.Algorithm == AlgBrute:
-		return j.runBrute()
-	case opts.Parallelism > 1:
-		return j.runParallel()
-	case opts.Algorithm == AlgBIJ || opts.Algorithm == AlgOBJ:
-		return j.runBulk(opts.Algorithm == AlgOBJ)
-	default:
-		return j.runINJ()
-	}
+	return JoinContext(context.Background(), tq, tp, opts)
 }
 
-// joiner carries one run's state.
+// JoinContext is Join under a context: the Options are compiled into an
+// execution plan (see exec.go) and run until completion or cancellation.
+// When ctx is cancelled the join aborts promptly — without finishing the
+// current leaf — and returns ctx.Err(); partial statistics reflect the work
+// actually done.
+func JoinContext(ctx context.Context, tq, tp SpatialIndex, opts Options) ([]Pair, Stats, error) {
+	j := &joiner{tq: tq, tp: tp, opts: opts}
+	return j.execute(ctx)
+}
+
+// joiner carries one run's state. In a parallel run each worker owns a
+// private joiner (stats, plan stages) and shares only the trees, the
+// context, and the synchronized emitter.
 type joiner struct {
 	tq, tp SpatialIndex
 	opts   Options
+	ctx    context.Context
+	plan   plan
 	stats  Stats
 	out    []Pair
 }

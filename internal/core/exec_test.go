@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// flakyIndex wraps a SpatialIndex and fails every ReadNode after a given
+// number of successful reads.
+type flakyIndex struct {
+	SpatialIndex
+	reads     atomic.Int64
+	failAfter int64
+	err       error
+}
+
+func (f *flakyIndex) ReadNode(id storage.PageID) (*rtree.Node, error) {
+	if f.reads.Add(1) > f.failAfter {
+		return nil, f.err
+	}
+	return f.SpatialIndex.ReadNode(id)
+}
+
+func TestJoinContextPreCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	ps := randomPoints(rng, 200)
+	qs := randomPoints(rng, 200)
+	pool := buffer.NewPool(-1)
+	tp := buildTree(t, ps, pool, 1, true)
+	tq := buildTree(t, qs, pool, 2, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range []Algorithm{AlgINJ, AlgBIJ, AlgOBJ, AlgBrute} {
+		for _, par := range []int{1, 4} {
+			if alg == AlgBrute && par > 1 {
+				continue
+			}
+			t.Run(fmt.Sprintf("%v/par=%d", alg, par), func(t *testing.T) {
+				_, stats, err := JoinContext(ctx, tq, tp, Options{Algorithm: alg, Parallelism: par, Collect: true})
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("err = %v, want context.Canceled", err)
+				}
+				if stats.Results != 0 {
+					t.Fatalf("cancelled join produced %d results", stats.Results)
+				}
+			})
+		}
+	}
+}
+
+func TestJoinContextCancelMidRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	ps := clusteredPoints(rng, 500, 4, 600)
+	qs := clusteredPoints(rng, 500, 6, 800)
+	pool := buffer.NewPool(-1)
+	tp := buildTree(t, ps, pool, 1, true)
+	tq := buildTree(t, qs, pool, 2, true)
+
+	full, _, err := Join(tq, tp, Options{Algorithm: AlgOBJ, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 10 {
+		t.Skipf("dataset yields only %d pairs", len(full))
+	}
+
+	for _, par := range []int{1, 4} {
+		t.Run(fmt.Sprintf("par=%d", par), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var seen atomic.Int64
+			_, stats, err := JoinContext(ctx, tq, tp, Options{
+				Algorithm:   AlgOBJ,
+				Parallelism: par,
+				OnPair: func(Pair) {
+					if seen.Add(1) == 3 {
+						cancel()
+					}
+				},
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if stats.Results >= int64(len(full)) {
+				t.Fatalf("cancelled join still produced all %d results", stats.Results)
+			}
+		})
+	}
+}
+
+func TestParallelFirstErrorCancelsOutstandingWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	ps := randomPoints(rng, 600)
+	qs := randomPoints(rng, 600)
+	pool := buffer.NewPool(-1)
+	tp := buildTree(t, ps, pool, 1, true)
+	tq := buildTree(t, qs, pool, 2, true)
+
+	boom := errors.New("injected read failure")
+	flaky := &flakyIndex{SpatialIndex: tp, failAfter: 25, err: boom}
+	start := time.Now()
+	_, _, err := JoinContext(context.Background(), tq, flaky, Options{Algorithm: AlgOBJ, Parallelism: 4, Collect: true})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	// Workers must stop, not drain the whole leaf schedule: after the first
+	// failure every subsequent read also fails, so a draining implementation
+	// would still touch most leaves. The joins abort within a few reads.
+	if reads := flaky.reads.Load(); reads > 25+200 {
+		t.Errorf("after first failure the pool kept issuing reads (%d total)", reads)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("erroring join took %v", elapsed)
+	}
+}
+
+func TestJoinContextNilIsBackground(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	pts := randomPoints(rng, 120)
+	pool := buffer.NewPool(-1)
+	tr := buildTree(t, pts, pool, 1, true)
+	got, _, err := JoinContext(nil, tr, tr, Options{Algorithm: AlgOBJ, SelfJoin: true, Collect: true}) //nolint:staticcheck
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := Join(tr, tr, Options{Algorithm: AlgOBJ, SelfJoin: true, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffPairs(t, "nil-ctx", want, got)
+}

@@ -78,6 +78,9 @@ func (j *joiner) filter(q rtree.PointEntry) ([]rtree.PointEntry, error) {
 		if !item.rect.IsEmpty() && prs.PrunesRect(item.rect) {
 			continue
 		}
+		if err := j.ctxErr(); err != nil {
+			return nil, err
+		}
 		n, err := j.tp.ReadNode(item.page)
 		if err != nil {
 			return nil, err
@@ -168,6 +171,9 @@ func (j *joiner) bulkFilter(leafPoints []rtree.PointEntry, symmetric bool) ([]*b
 			if prunedForAll {
 				continue
 			}
+		}
+		if err := j.ctxErr(); err != nil {
+			return nil, err
 		}
 		n, err := j.tp.ReadNode(item.page)
 		if err != nil {

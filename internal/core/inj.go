@@ -1,33 +1,38 @@
 package core
 
 import (
-	"math/rand"
-
 	"repro/internal/geom"
 	"repro/internal/rtree"
 )
 
-// runINJ is Algorithm 5 (depth-first index nested loop join): every leaf of
-// TQ is visited in depth-first order (or shuffled, for the search-order
-// ablation) and Lines 3–12 of Algorithm 4 run for each of its points.
-func (j *joiner) runINJ() ([]Pair, Stats, error) {
-	err := j.forEachQLeaf(func(n *rtree.Node) error {
-		for _, q := range n.Points {
-			if err := j.joinOne(q); err != nil {
-				return err
-			}
+// injFilterStage is Algorithm 5's per-point pipeline: Lines 3–12 of
+// Algorithm 4 run for each point of the TQ leaf, yielding one candidate
+// batch per query point so each point is verified (and emitted)
+// independently, exactly as the sequential formulation interleaves its tree
+// accesses.
+func injFilterStage(j *joiner, leafPoints []rtree.PointEntry, sink func([]*candidate) error) error {
+	for _, q := range leafPoints {
+		if err := j.ctxErr(); err != nil {
+			return err
 		}
-		return nil
-	})
-	return j.out, j.stats, err
+		cands, err := j.filterOne(q)
+		if err != nil {
+			return err
+		}
+		if err := sink(cands); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// joinOne computes the RCJ pairs of a single query point: filter, build
-// circles, verify against both trees, report survivors.
-func (j *joiner) joinOne(q rtree.PointEntry) error {
+// filterOne runs the filter step for a single query point and wraps the
+// surviving points into verification candidates with their enclosing
+// circles.
+func (j *joiner) filterOne(q rtree.PointEntry) ([]*candidate, error) {
 	candsP, err := j.filter(q)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cands := make([]*candidate, 0, len(candsP))
 	for _, p := range candsP {
@@ -36,70 +41,22 @@ func (j *joiner) joinOne(q rtree.PointEntry) error {
 			alive: true,
 		})
 	}
-	j.stats.Candidates += int64(len(cands))
-	if !j.opts.SkipVerification {
-		if err := j.verify(j.tq, cands, sideQ); err != nil {
-			return err
-		}
-		if !j.sameTree() {
-			if err := j.verify(j.tp, cands, sideP); err != nil {
-				return err
-			}
-		}
+	return cands, nil
+}
+
+// joinOne computes the RCJ pairs of a single query point: filter, build
+// circles, verify against both trees, report survivors. It is the per-point
+// pipeline the incremental Monitor reuses for newly inserted points.
+func (j *joiner) joinOne(q rtree.PointEntry) error {
+	cands, err := j.filterOne(q)
+	if err != nil {
+		return err
 	}
-	for _, c := range cands {
-		if !c.alive {
-			continue
-		}
-		if j.opts.SelfJoin && !j.keepSelfPair(c.pair.P, c.pair.Q) {
-			continue
-		}
-		j.emit(c.pair)
-	}
-	return nil
+	return j.verifyAndEmit(cands)
 }
 
 // sameTree reports whether both join inputs are the identical tree, in which
 // case one verification pass covers both datasets.
 func (j *joiner) sameTree() bool {
 	return j.tp == j.tq
-}
-
-// forEachQLeaf drives the outer loop over TQ leaves: depth-first by default
-// (Section 3.4's locality argument), shuffled when the ablation asks for it,
-// and optionally sampling every k-th leaf for the cost estimator.
-func (j *joiner) forEachQLeaf(fn func(*rtree.Node) error) error {
-	inner := fn
-	fn = func(n *rtree.Node) error {
-		j.stats.OuterLeaves++
-		return inner(n)
-	}
-	every := j.opts.LeafSampleEvery
-	if every < 1 {
-		every = 1
-	}
-	if !j.opts.RandomLeafOrder && every == 1 {
-		return j.tq.VisitLeaves(fn)
-	}
-	pages, err := j.tq.LeafPages()
-	if err != nil {
-		return err
-	}
-	if j.opts.RandomLeafOrder {
-		rng := rand.New(rand.NewSource(j.opts.Seed))
-		rng.Shuffle(len(pages), func(a, b int) { pages[a], pages[b] = pages[b], pages[a] })
-	}
-	for i, id := range pages {
-		if i%every != 0 {
-			continue
-		}
-		n, err := j.tq.ReadNode(id)
-		if err != nil {
-			return err
-		}
-		if err := fn(n); err != nil {
-			return err
-		}
-	}
-	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 
 	"repro/internal/geom"
 	"repro/internal/rtree"
@@ -85,9 +86,18 @@ type L1Pair struct {
 // exact L1-ball verification. opts supports SelfJoin and Collect/OnPair
 // semantics; the Algorithm field is ignored (one strategy is provided).
 func JoinL1(tq, tp SpatialIndex, opts Options) ([]L1Pair, Stats, error) {
-	j := &l1Joiner{tq: tq, tp: tp, opts: opts}
+	return JoinL1Context(context.Background(), tq, tp, opts)
+}
+
+// JoinL1Context is JoinL1 under a context, aborting promptly with ctx.Err()
+// on cancellation.
+func JoinL1Context(ctx context.Context, tq, tp SpatialIndex, opts Options) ([]L1Pair, Stats, error) {
+	j := &l1Joiner{tq: tq, tp: tp, opts: opts, ctx: ctx}
 	err := tq.VisitLeaves(func(n *rtree.Node) error {
 		for _, q := range n.Points {
+			if err := ctxDone(j.ctx); err != nil {
+				return err
+			}
 			if err := j.joinOne(q); err != nil {
 				return err
 			}
@@ -132,6 +142,7 @@ func BruteForceL1Pairs(ps, qs []rtree.PointEntry, selfJoin bool) []L1Pair {
 type l1Joiner struct {
 	tq, tp SpatialIndex
 	opts   Options
+	ctx    context.Context
 	stats  Stats
 	out    []L1Pair
 }

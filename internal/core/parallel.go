@@ -1,54 +1,57 @@
 package core
 
 import (
-	"math/rand"
+	"context"
 	"sync"
 
-	"repro/internal/rtree"
 	"repro/internal/storage"
 )
 
-// This file adds multi-goroutine execution to the join: TQ leaves are
-// distributed over a worker pool, each worker running the per-leaf pipeline
-// (filter + verification) with private state. Indexes are read-only during
-// a join and the buffer pool is safe for concurrent use, so workers share
-// both; only result emission is synchronized. The result SET is identical
-// to the sequential run; result ORDER is not deterministic.
+// This file is the parallel execution strategy of the executor: TQ leaves
+// are distributed over a worker pool, each worker running the same per-leaf
+// pipeline (processLeaf) as the sequential strategy with private state.
+// Indexes are read-only during a join and the buffer pool is safe for
+// concurrent use, so workers share both; only result emission is
+// synchronized. The result SET is identical to the sequential run; result
+// ORDER is not deterministic.
+//
+// Error handling: the first failure (or an external cancellation) cancels a
+// run-scoped context. Workers stop at the next leaf, the feeder stops
+// handing out pages, and the first error is the one returned — later errors
+// are discarded, never overwriting the first.
 
 // runParallel executes the INJ/BIJ/OBJ outer loop with opts.Parallelism
 // workers.
-func (j *joiner) runParallel() ([]Pair, Stats, error) {
-	pages, err := j.tq.LeafPages()
+func (j *joiner) runParallel() error {
+	pages, err := j.outerLeafPages()
 	if err != nil {
-		return nil, j.stats, err
-	}
-	if j.opts.RandomLeafOrder {
-		rng := rand.New(rand.NewSource(j.opts.Seed))
-		rng.Shuffle(len(pages), func(a, b int) { pages[a], pages[b] = pages[b], pages[a] })
-	}
-	if every := j.opts.LeafSampleEvery; every > 1 {
-		var sampled []storage.PageID
-		for i, id := range pages {
-			if i%every == 0 {
-				sampled = append(sampled, id)
-			}
-		}
-		pages = sampled
+		return err
 	}
 
+	ctx, cancel := context.WithCancel(j.ctx)
+	defer cancel()
+
 	var (
-		emitMu  sync.Mutex
-		wg      sync.WaitGroup
-		work    = make(chan storage.PageID)
-		workers = make([]*joiner, j.opts.Parallelism)
-		errs    = make([]error, j.opts.Parallelism)
+		emitMu   sync.Mutex
+		wg       sync.WaitGroup
+		work     = make(chan storage.PageID)
+		workers  = make([]*joiner, j.opts.Parallelism)
+		errOnce  sync.Once
+		firstErr error
 	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	base := j.opts
 	for w := range workers {
 		// Each worker is an independent joiner whose OnPair/Collect are
 		// redirected through the shared, locked emitter.
-		worker := &joiner{tq: j.tq, tp: j.tp, opts: j.opts}
+		worker := &joiner{tq: j.tq, tp: j.tp, opts: j.opts, ctx: ctx, plan: j.plan}
 		worker.opts.Collect = false
-		base := j.opts
 		worker.opts.OnPair = func(p Pair) {
 			emitMu.Lock()
 			defer emitMu.Unlock()
@@ -61,31 +64,34 @@ func (j *joiner) runParallel() ([]Pair, Stats, error) {
 		}
 		workers[w] = worker
 		wg.Add(1)
-		go func(w int) {
+		go func(worker *joiner) {
 			defer wg.Done()
 			for page := range work {
 				n, err := j.tq.ReadNode(page)
 				if err != nil {
-					errs[w] = err
-					continue
+					fail(err)
+					return
 				}
-				if err := workers[w].processLeaf(n.Points); err != nil {
-					errs[w] = err
+				if err := worker.processLeaf(n.Points); err != nil {
+					fail(err)
+					return
 				}
 			}
-		}(w)
+		}(worker)
 	}
+
+feed:
 	for _, page := range pages {
-		work <- page
+		select {
+		case work <- page:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
 
-	for _, err := range errs {
-		if err != nil {
-			return nil, j.stats, err
-		}
-	}
+	// Merge worker statistics even on failure, so partial work is accounted.
 	for _, w := range workers {
 		j.stats.Candidates += w.stats.Candidates
 		j.stats.Results += w.stats.Results
@@ -93,24 +99,8 @@ func (j *joiner) runParallel() ([]Pair, Stats, error) {
 		j.stats.VerifiedNodes += w.stats.VerifiedNodes
 		j.stats.OuterLeaves += w.stats.OuterLeaves
 	}
-	return j.out, j.stats, nil
-}
-
-// processLeaf runs one worker's per-leaf pipeline according to the selected
-// algorithm.
-func (j *joiner) processLeaf(points []rtree.PointEntry) error {
-	j.stats.OuterLeaves++
-	switch j.opts.Algorithm {
-	case AlgBIJ:
-		return j.joinLeaf(points, false)
-	case AlgOBJ:
-		return j.joinLeaf(points, true)
-	default: // AlgINJ
-		for _, q := range points {
-			if err := j.joinOne(q); err != nil {
-				return err
-			}
-		}
-		return nil
+	if firstErr != nil {
+		return firstErr
 	}
+	return ctxDone(j.ctx)
 }

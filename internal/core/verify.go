@@ -80,6 +80,9 @@ func (j *joiner) verify(t SpatialIndex, cands []*candidate, s side) error {
 // non-leaf entries kill circles containing one of their faces, and the
 // subtree is descended with the subset of circles intersecting its MBR.
 func (j *joiner) verifyNode(t SpatialIndex, page storage.PageID, cands []*candidate, s side) error {
+	if err := j.ctxErr(); err != nil {
+		return err
+	}
 	n, err := t.ReadNode(page)
 	if err != nil {
 		return err

@@ -33,7 +33,7 @@ type AblationRow struct {
 func Ablations(cfg Config) ([]AblationRow, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.scaled(200_000)
-	env, err := NewEnv(workload.Uniform(n, 1), workload.Uniform(n, 2), cfg.BufferFrac, cfg.PageSize)
+	env, err := cfg.newEnv(workload.Uniform(n, 1), workload.Uniform(n, 2))
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +156,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		splitEnv := &Env{Pool: pool, TQ: tq, TP: tp}
+		splitEnv := &Env{Pool: pool, TQ: tq, TP: tp, Ctx: cfg.Ctx}
 		splitEnv.SetBufferFrac(cfg.BufferFrac)
 		res, err := splitEnv.Run(core.Options{Algorithm: core.AlgOBJ})
 		if err != nil {

@@ -45,7 +45,7 @@ type CostModelRow struct {
 func CostModel(cfg Config) ([]CostModelRow, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.scaled(100_000)
-	env, err := NewEnv(workload.Uniform(n, 1), workload.Uniform(n, 2), cfg.BufferFrac, cfg.PageSize)
+	env, err := cfg.newEnv(workload.Uniform(n, 1), workload.Uniform(n, 2))
 	if err != nil {
 		return nil, err
 	}

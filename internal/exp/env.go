@@ -12,6 +12,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -37,6 +38,9 @@ type Config struct {
 	PageSize int
 	// W receives the printed tables; nil discards them.
 	W io.Writer
+	// Ctx, when non-nil, cancels in-flight joins of long experiment sweeps
+	// (cmd/rcjbench wires Ctrl-C through it). Nil means run to completion.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +75,16 @@ type Env struct {
 	Pool *buffer.Pool
 	TQ   *rtree.Tree // outer input Q
 	TP   *rtree.Tree // inner input P
+	// Ctx cancels this environment's runs; nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the environment's run context.
+func (e *Env) ctx() context.Context {
+	if e.Ctx == nil {
+		return context.Background()
+	}
+	return e.Ctx
 }
 
 // NewEnv indexes qs and ps and sizes the shared buffer to bufferFrac of the
@@ -155,11 +169,12 @@ type RunResult struct {
 	Cost      cost.Breakdown
 }
 
-// Run executes the join with a cold cache and measures it.
+// Run executes the join with a cold cache and measures it. The run aborts
+// with the context's error when Env.Ctx is cancelled.
 func (e *Env) Run(opts core.Options) (RunResult, error) {
 	e.Reset()
 	meter := cost.NewMeter(e.Pool)
-	_, stats, err := core.Join(e.TQ, e.TP, opts)
+	_, stats, err := core.JoinContext(e.ctx(), e.TQ, e.TP, opts)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -171,7 +186,7 @@ func (e *Env) RunCollect(opts core.Options) ([]core.Pair, RunResult, error) {
 	opts.Collect = true
 	e.Reset()
 	meter := cost.NewMeter(e.Pool)
-	pairs, stats, err := core.Join(e.TQ, e.TP, opts)
+	pairs, stats, err := core.JoinContext(e.ctx(), e.TQ, e.TP, opts)
 	if err != nil {
 		return nil, RunResult{}, err
 	}
@@ -204,11 +219,27 @@ func ComboByName(name string) (Combo, bool) {
 }
 
 // NewComboEnv builds the environment for one real-data join combination at
-// the configured scale.
+// the configured scale, carrying the config's cancellation context.
 func (c Config) NewComboEnv(cb Combo) (*Env, error) {
 	qs := workload.RealLike(cb.Q, c.scaled(cb.Q.Cardinality()))
 	ps := workload.RealLike(cb.P, c.scaled(cb.P.Cardinality()))
-	return NewEnv(qs, ps, c.BufferFrac, c.PageSize)
+	env, err := NewEnv(qs, ps, c.BufferFrac, c.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	env.Ctx = c.Ctx
+	return env, nil
+}
+
+// newEnv builds an environment from prepared entry slices with the config's
+// buffer sizing and cancellation context.
+func (c Config) newEnv(qs, ps []rtree.PointEntry) (*Env, error) {
+	env, err := NewEnv(qs, ps, c.BufferFrac, c.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	env.Ctx = c.Ctx
+	return env, nil
 }
 
 // fmtDuration renders a duration in seconds with millisecond resolution,

@@ -54,7 +54,7 @@ func Network(cfg Config) ([]NetworkRow, error) {
 			}
 			return out
 		}
-		env, err := NewEnv(toEntries(Q), toEntries(P), cfg.BufferFrac, cfg.PageSize)
+		env, err := cfg.newEnv(toEntries(Q), toEntries(P))
 		if err != nil {
 			return nil, err
 		}

@@ -61,7 +61,7 @@ type Fig14Row struct {
 func Fig14(cfg Config) ([]Fig14Row, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.scaled(200_000)
-	env, err := NewEnv(workload.Uniform(n, 1), workload.Uniform(n, 2), cfg.BufferFrac, cfg.PageSize)
+	env, err := cfg.newEnv(workload.Uniform(n, 1), workload.Uniform(n, 2))
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +108,7 @@ type Fig15Row struct {
 func Fig15(cfg Config) ([]Fig15Row, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.scaled(200_000)
-	env, err := NewEnv(workload.Uniform(n, 1), workload.Uniform(n, 2), cfg.BufferFrac, cfg.PageSize)
+	env, err := cfg.newEnv(workload.Uniform(n, 1), workload.Uniform(n, 2))
 	if err != nil {
 		return nil, err
 	}

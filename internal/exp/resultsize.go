@@ -55,7 +55,7 @@ func ResultSize(cfg Config) ([]ResultSizeRow, error) {
 			// deterministic grid both sides coincide geometrically, which is
 			// itself an interesting extreme (every point of P sits on a
 			// point of Q).
-			env, err := NewEnv(qs, ps, cfg.BufferFrac, cfg.PageSize)
+			env, err := cfg.newEnv(qs, ps)
 			if err != nil {
 				return nil, err
 			}

@@ -29,7 +29,7 @@ func Fig16(cfg Config) ([]SweepRow, error) {
 	var rows []SweepRow
 	for _, nK := range []int{50, 100, 200, 400, 800} {
 		n := cfg.scaled(nK * 1000)
-		env, err := NewEnv(workload.Uniform(n, 1), workload.Uniform(n, 2), cfg.BufferFrac, cfg.PageSize)
+		env, err := cfg.newEnv(workload.Uniform(n, 1), workload.Uniform(n, 2))
 		if err != nil {
 			return nil, err
 		}
@@ -62,7 +62,7 @@ func Fig17(cfg Config) ([]SweepRow, error) {
 	for _, r := range ratios {
 		nP := int(float64(total) * r.pShare)
 		nQ := total - nP
-		env, err := NewEnv(workload.Uniform(nQ, 1), workload.Uniform(nP, 2), cfg.BufferFrac, cfg.PageSize)
+		env, err := cfg.newEnv(workload.Uniform(nQ, 1), workload.Uniform(nP, 2))
 		if err != nil {
 			return nil, err
 		}
@@ -86,10 +86,8 @@ func Fig18(cfg Config) ([]SweepRow, error) {
 	n := cfg.scaled(200_000)
 	var rows []SweepRow
 	for _, w := range []int{2, 5, 10, 15, 20} {
-		env, err := NewEnv(
-			workload.GaussianClusters(n, w, 1000, 1),
-			workload.GaussianClusters(n, w, 1000, 2),
-			cfg.BufferFrac, cfg.PageSize)
+		env, err := cfg.newEnv(workload.GaussianClusters(n, w, 1000, 1),
+			workload.GaussianClusters(n, w, 1000, 2))
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package roadnet
 
 import (
 	"container/heap"
+	"context"
 	"math"
 
 	"repro/internal/geom"
@@ -39,6 +40,15 @@ type Stats struct {
 // Join computes the network ring-constrained join of P and Q over g: all
 // pairs whose network ball covers no other point of P ∪ Q.
 func Join(g *Graph, P, Q []PointRef) ([]Pair, Stats, error) {
+	return JoinContext(context.Background(), g, P, Q, nil)
+}
+
+// JoinContext is Join under a context. When onPair is non-nil the join
+// streams each confirmed pair to it and returns a nil slice (nothing is
+// accumulated — the streaming mode exists to avoid holding the result set);
+// otherwise the full slice is returned. The outer loop checks ctx once per
+// query point and aborts with ctx.Err() when cancelled.
+func JoinContext(ctx context.Context, g *Graph, P, Q []PointRef, onPair func(Pair)) ([]Pair, Stats, error) {
 	j := &netJoiner{
 		g:   g,
 		pAt: groupByNode(P),
@@ -46,13 +56,26 @@ func Join(g *Graph, P, Q []PointRef) ([]Pair, Stats, error) {
 	}
 	var out []Pair
 	for _, q := range Q {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return nil, j.stats, ctx.Err()
+			default:
+			}
+		}
 		pairs, err := j.joinOne(q)
 		if err != nil {
 			return nil, j.stats, err
 		}
+		j.stats.Results += int64(len(pairs))
+		if onPair != nil {
+			for _, p := range pairs {
+				onPair(p)
+			}
+			continue
+		}
 		out = append(out, pairs...)
 	}
-	j.stats.Results = int64(len(out))
 	return out, j.stats, nil
 }
 

@@ -1,0 +1,155 @@
+package rcj
+
+import (
+	"context"
+	"iter"
+	"sync/atomic"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/stream"
+)
+
+// Engine is a long-lived query engine serving many concurrent
+// ring-constrained joins over immutable indexes. All indexes built through
+// Engine.BuildIndex share the engine's buffer pool — the paper's setting,
+// where both join inputs compete for one memory budget — which is sharded
+// over independently-locked LRU partitions so concurrent joins do not
+// serialize on a single mutex.
+//
+// Typical service use:
+//
+//	eng := rcj.NewEngine(rcj.EngineConfig{BufferPages: 4096})
+//	restaurants, _ := eng.BuildIndex(pointsP, rcj.IndexConfig{})
+//	residences, _ := eng.BuildIndex(pointsQ, rcj.IndexConfig{})
+//	for pair, err := range eng.Join(ctx, residences, restaurants, rcj.JoinOptions{}) {
+//		if err != nil { ... }
+//		serve(pair)
+//	}
+//
+// The iterator streams pairs as the join confirms them; cancelling ctx (or
+// breaking out of the loop) aborts the join promptly without leaking
+// goroutines. Engine methods are safe for concurrent use; indexes are
+// immutable after build and may be shared by any number of joins.
+type Engine struct {
+	pageSize  int
+	pool      *buffer.Pool
+	nextOwner atomic.Uint32
+}
+
+// EngineConfig sizes an Engine.
+type EngineConfig struct {
+	// PageSize is the page size of indexes built on this engine (default
+	// 1024, the paper's setting).
+	PageSize int
+	// BufferPages bounds the shared LRU buffer in pages; <= 0 means
+	// unbounded (everything cached).
+	BufferPages int
+	// BufferShards sets the number of independently-locked LRU shards the
+	// buffer is split into. 0 picks a power of two covering GOMAXPROCS; 1
+	// gives the single-lock pool with exact global LRU (the deterministic
+	// choice for experiments).
+	BufferShards int
+}
+
+// NewEngine returns an engine with an empty shared buffer pool.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = storage.DefaultPageSize
+	}
+	capacity := cfg.BufferPages
+	if capacity <= 0 {
+		capacity = -1
+	}
+	return &Engine{
+		pageSize: cfg.PageSize,
+		pool:     buffer.NewShardedPool(capacity, cfg.BufferShards),
+	}
+}
+
+// BuildIndex indexes the points in an R*-tree attached to the engine's
+// shared buffer pool under a fresh owner id. cfg.BufferPages is ignored
+// (the engine's buffer is shared); cfg.PageSize defaults to the engine's.
+func (e *Engine) BuildIndex(points []Point, cfg IndexConfig) (*Index, error) {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = e.pageSize
+	}
+	return buildIndex(points, cfg, e.pool, e.nextOwner.Add(1), true)
+}
+
+// BufferStats returns the shared pool's cumulative access counters, summed
+// exactly over its shards.
+func (e *Engine) BufferStats() buffer.Stats { return e.pool.Stats() }
+
+// BufferShards returns the number of LRU shards of the shared pool.
+func (e *Engine) BufferShards() int { return e.pool.Shards() }
+
+// streamBuffer is the channel depth between the join workers and the
+// consuming iterator: deep enough to decouple bursts, small enough that a
+// cancelled consumer stops the producer within a leaf or two.
+const streamBuffer = 64
+
+// Join computes the ring-constrained join of the datasets of p and q,
+// streaming each result pair as the join confirms it. The returned iterator
+// is single-use. Cancelling ctx aborts the join; the iterator then yields
+// the context's error. Breaking out of the loop early also aborts the join
+// and releases its goroutines. JoinOptions.SortByDiameter and OnPair are
+// meaningless in streaming mode and ignored; use JoinCollect for a sorted
+// slice.
+func (e *Engine) Join(ctx context.Context, q, p *Index, opts JoinOptions) iter.Seq2[Pair, error] {
+	return joinSeq(ctx, q, p, opts, false)
+}
+
+// SelfJoin streams the ring-constrained self-join of one dataset, each
+// unordered pair reported once with P.ID < Q.ID.
+func (e *Engine) SelfJoin(ctx context.Context, ix *Index, opts JoinOptions) iter.Seq2[Pair, error] {
+	return joinSeq(ctx, ix, ix, opts, true)
+}
+
+// JoinCollect is the materializing convenience wrapper around Join,
+// preserving the signature of the package-level rcj.Join: it runs the join
+// to completion under ctx and returns all pairs plus run statistics. The
+// buffer counters in Stats are deltas over the shared pool, so they
+// attribute exactly only when no other join runs concurrently.
+func (e *Engine) JoinCollect(ctx context.Context, q, p *Index, opts JoinOptions) ([]Pair, Stats, error) {
+	return runJoin(ctx, q, p, opts, false)
+}
+
+// SelfJoinCollect is the materializing wrapper around SelfJoin.
+func (e *Engine) SelfJoinCollect(ctx context.Context, ix *Index, opts JoinOptions) ([]Pair, Stats, error) {
+	return runJoin(ctx, ix, ix, opts, true)
+}
+
+// Collect drains a streaming join into a slice, stopping at the first
+// error. It is the bridge from the iterator form back to today's
+// slice-returning form: for any join, Collect(eng.Join(...)) returns
+// exactly the pairs eng.JoinCollect(...) does (in unspecified order when
+// parallel).
+func Collect(seq iter.Seq2[Pair, error]) ([]Pair, error) {
+	var out []Pair
+	for pr, err := range seq {
+		if err != nil {
+			return out, err
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// joinSeq runs the join in a producer goroutine bridged to the consumer
+// through stream.Seq2, so parallel joins (whose workers emit concurrently)
+// and sequential joins stream through the same iterator with no goroutine
+// outliving the range loop.
+func joinSeq(ctx context.Context, q, p *Index, opts JoinOptions, self bool) iter.Seq2[Pair, error] {
+	return stream.Seq2(ctx, streamBuffer, func(runCtx context.Context, emit func(Pair)) error {
+		coreOpts := core.Options{
+			Algorithm:   opts.algorithm(),
+			SelfJoin:    self,
+			Parallelism: opts.Parallelism,
+			OnPair:      func(cp core.Pair) { emit(fromCorePair(cp)) },
+		}
+		_, _, err := core.JoinContext(runCtx, q.tree, p.tree, coreOpts)
+		return err
+	})
+}

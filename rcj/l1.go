@@ -1,6 +1,10 @@
 package rcj
 
-import "repro/internal/core"
+import (
+	"context"
+
+	"repro/internal/core"
+)
 
 // L1Pair is one Manhattan-metric ring-constrained join result: the two
 // matched points and their smallest enclosing L1 ball (a diamond). Center is
@@ -17,18 +21,29 @@ type L1Pair struct {
 // datasets of q and p: all pairs whose smallest enclosing L1 ball contains
 // no other point of either dataset.
 func JoinL1(q, p *Index) ([]L1Pair, Stats, error) {
-	return runJoinL1(q, p, false)
+	return runJoinL1(context.Background(), q, p, false)
+}
+
+// JoinL1Context is JoinL1 under a context, aborting promptly with ctx.Err()
+// on cancellation.
+func JoinL1Context(ctx context.Context, q, p *Index) ([]L1Pair, Stats, error) {
+	return runJoinL1(ctx, q, p, false)
 }
 
 // SelfJoinL1 computes the Manhattan-metric self-join of one dataset; each
 // unordered pair is reported once with P.ID < Q.ID.
 func SelfJoinL1(ix *Index) ([]L1Pair, Stats, error) {
-	return runJoinL1(ix, ix, true)
+	return runJoinL1(context.Background(), ix, ix, true)
 }
 
-func runJoinL1(q, p *Index, self bool) ([]L1Pair, Stats, error) {
+// SelfJoinL1Context is SelfJoinL1 under a context.
+func SelfJoinL1Context(ctx context.Context, ix *Index) ([]L1Pair, Stats, error) {
+	return runJoinL1(ctx, ix, ix, true)
+}
+
+func runJoinL1(ctx context.Context, q, p *Index, self bool) ([]L1Pair, Stats, error) {
 	qBase, pBase := q.pool.Stats(), p.pool.Stats()
-	pairs, st, err := core.JoinL1(q.tree, p.tree, core.Options{SelfJoin: self, Collect: true})
+	pairs, st, err := core.JoinL1Context(ctx, q.tree, p.tree, core.Options{SelfJoin: self, Collect: true})
 	if err != nil {
 		return nil, Stats{}, err
 	}

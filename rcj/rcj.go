@@ -27,6 +27,7 @@
 package rcj
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -89,19 +90,36 @@ type IndexConfig struct {
 	Path string
 }
 
-// Index is an immutable spatial index over one dataset, ready to join.
+// Index is an immutable spatial index over one dataset, ready to join. An
+// index is either self-contained (BuildIndex: private buffer pool) or
+// attached to an Engine's shared pool (Engine.BuildIndex).
 type Index struct {
-	tree  *rtree.Tree
-	pager storage.Pager
-	pool  *buffer.Pool
-	pts   int
+	tree   *rtree.Tree
+	pager  storage.Pager
+	pool   *buffer.Pool
+	pts    int
+	owner  uint32
+	shared bool // pool belongs to an Engine, not this index
 }
 
 // ErrNoPoints is returned when building an index from an empty slice.
 var ErrNoPoints = errors.New("rcj: no points to index")
 
-// BuildIndex indexes the points in an R*-tree.
+// BuildIndex indexes the points in an R*-tree with a private buffer pool.
+// Indexes that should share one buffer across concurrent joins are built
+// with Engine.BuildIndex instead.
 func BuildIndex(points []Point, cfg IndexConfig) (*Index, error) {
+	capacity := cfg.BufferPages
+	if capacity <= 0 {
+		capacity = -1
+	}
+	return buildIndex(points, cfg, buffer.NewPool(capacity), 0, false)
+}
+
+// buildIndex is the shared index builder: pool is either the index's private
+// pool or an Engine's shared pool (shared=true), and owner namespaces the
+// index's pages within it.
+func buildIndex(points []Point, cfg IndexConfig, pool *buffer.Pool, owner uint32, shared bool) (*Index, error) {
 	if len(points) == 0 {
 		return nil, ErrNoPoints
 	}
@@ -128,12 +146,7 @@ func BuildIndex(points []Point, cfg IndexConfig) (*Index, error) {
 	} else {
 		pager = storage.NewMemPager(cfg.PageSize)
 	}
-	capacity := cfg.BufferPages
-	if capacity <= 0 {
-		capacity = -1
-	}
-	pool := buffer.NewPool(capacity)
-	tree, err := rtree.New(pager, pool, rtree.Config{PageSize: cfg.PageSize})
+	tree, err := rtree.New(pager, pool, rtree.Config{Owner: owner, PageSize: cfg.PageSize})
 	if err != nil {
 		pager.Close()
 		return nil, err
@@ -149,7 +162,7 @@ func BuildIndex(points []Point, cfg IndexConfig) (*Index, error) {
 		pager.Close()
 		return nil, err
 	}
-	return &Index{tree: tree, pager: pager, pool: pool, pts: len(points)}, nil
+	return &Index{tree: tree, pager: pager, pool: pool, pts: len(points), owner: owner, shared: shared}, nil
 }
 
 // Len returns the number of indexed points.
@@ -178,7 +191,14 @@ func (ix *Index) NearestNeighbor(x, y float64) (Point, error) {
 }
 
 // Close releases the index's storage (and closes its page file, if any).
-func (ix *Index) Close() error { return ix.pager.Close() }
+// For an Engine-built index, its cached nodes are also dropped from the
+// engine's shared buffer.
+func (ix *Index) Close() error {
+	if ix.shared {
+		ix.pool.InvalidateOwner(ix.owner)
+	}
+	return ix.pager.Close()
+}
 
 // Stats summarizes what a join run did; see the fields for the paper
 // concepts they correspond to.
@@ -228,7 +248,7 @@ func (o JoinOptions) algorithm() Algorithm {
 // all pairs <pi, qj> whose smallest enclosing circle contains no other point
 // of either dataset.
 func Join(q, p *Index, opts JoinOptions) ([]Pair, Stats, error) {
-	return runJoin(q, p, opts, false)
+	return runJoin(context.Background(), q, p, opts, false)
 }
 
 // SelfJoin computes the ring-constrained self-join of one dataset (the
@@ -236,10 +256,10 @@ func Join(q, p *Index, opts JoinOptions) ([]Pair, Stats, error) {
 // enclosing circle contains no other dataset point. Each pair is reported
 // once with P.ID < Q.ID.
 func SelfJoin(ix *Index, opts JoinOptions) ([]Pair, Stats, error) {
-	return runJoin(ix, ix, opts, true)
+	return runJoin(context.Background(), ix, ix, opts, true)
 }
 
-func runJoin(q, p *Index, opts JoinOptions, self bool) ([]Pair, Stats, error) {
+func runJoin(ctx context.Context, q, p *Index, opts JoinOptions, self bool) ([]Pair, Stats, error) {
 	qBase, pBase := q.pool.Stats(), p.pool.Stats()
 	coreOpts := core.Options{
 		Algorithm:   opts.algorithm(),
@@ -250,7 +270,7 @@ func runJoin(q, p *Index, opts JoinOptions, self bool) ([]Pair, Stats, error) {
 	if opts.OnPair != nil {
 		coreOpts.OnPair = func(cp core.Pair) { opts.OnPair(fromCorePair(cp)) }
 	}
-	pairs, st, err := core.Join(q.tree, p.tree, coreOpts)
+	pairs, st, err := core.JoinContext(ctx, q.tree, p.tree, coreOpts)
 	if err != nil {
 		return nil, Stats{}, err
 	}

@@ -14,11 +14,14 @@
 package rcjnet
 
 import (
+	"context"
 	"fmt"
+	"iter"
 	"math"
 
 	"repro/internal/geom"
 	"repro/internal/roadnet"
+	"repro/internal/stream"
 )
 
 // NodeID identifies a road-graph node (an intersection).
@@ -99,6 +102,12 @@ type Stats struct {
 // Join computes the network ring-constrained join of datasets P and Q over
 // the road graph.
 func Join(gr *Graph, P, Q []Point) ([]Pair, Stats, error) {
+	return JoinContext(context.Background(), gr, P, Q)
+}
+
+// JoinContext is Join under a context: a cancelled ctx aborts the join
+// between query points and returns ctx.Err().
+func JoinContext(ctx context.Context, gr *Graph, P, Q []Point) ([]Pair, Stats, error) {
 	pRefs, err := toRefs(gr, P)
 	if err != nil {
 		return nil, Stats{}, err
@@ -107,23 +116,48 @@ func Join(gr *Graph, P, Q []Point) ([]Pair, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	raw, st, err := roadnet.Join(gr.g, pRefs, qRefs)
+	raw, st, err := roadnet.JoinContext(ctx, gr.g, pRefs, qRefs, nil)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	out := make([]Pair, len(raw))
 	for i, p := range raw {
-		out[i] = Pair{
-			P:           Point{ID: p.P.ID, Node: p.P.Node},
-			Q:           Point{ID: p.Q.ID, Node: p.Q.Node},
-			NetworkDist: p.Dist,
-			StandU:      p.Center.U,
-			StandV:      p.Center.V,
-			StandOffset: p.Center.OffU,
-			WalkEach:    p.Radius,
-		}
+		out[i] = fromRoadnetPair(p)
 	}
 	return out, Stats{Candidates: st.Candidates, Results: st.Results, SettledNodes: st.SettledNodes}, nil
+}
+
+// JoinSeq streams the network join as an iterator, mirroring
+// rcj.Engine.Join: pairs are yielded as the join confirms them, cancelling
+// ctx (or breaking out of the loop) aborts the join promptly, and no
+// goroutine outlives the range loop.
+func JoinSeq(ctx context.Context, gr *Graph, P, Q []Point) iter.Seq2[Pair, error] {
+	return stream.Seq2(ctx, 64, func(runCtx context.Context, emit func(Pair)) error {
+		pRefs, err := toRefs(gr, P)
+		if err != nil {
+			return err
+		}
+		qRefs, err := toRefs(gr, Q)
+		if err != nil {
+			return err
+		}
+		_, _, err = roadnet.JoinContext(runCtx, gr.g, pRefs, qRefs, func(p roadnet.Pair) {
+			emit(fromRoadnetPair(p))
+		})
+		return err
+	})
+}
+
+func fromRoadnetPair(p roadnet.Pair) Pair {
+	return Pair{
+		P:           Point{ID: p.P.ID, Node: p.P.Node},
+		Q:           Point{ID: p.Q.ID, Node: p.Q.Node},
+		NetworkDist: p.Dist,
+		StandU:      p.Center.U,
+		StandV:      p.Center.V,
+		StandOffset: p.Center.OffU,
+		WalkEach:    p.Radius,
+	}
 }
 
 func toRefs(gr *Graph, pts []Point) ([]roadnet.PointRef, error) {

@@ -1,8 +1,12 @@
 package rcjnet
 
 import (
+	"context"
+	"errors"
 	"math"
+	"runtime"
 	"testing"
+	"time"
 )
 
 // buildLine creates a 0–1–…–(n−1) path of unit roads.
@@ -92,5 +96,72 @@ func TestEmbeddedGraph(t *testing.T) {
 	d, ok := g.Distance(0, 1)
 	if !ok || d != 5 {
 		t.Fatalf("distance %g", d)
+	}
+}
+
+func TestJoinSeqMatchesJoin(t *testing.T) {
+	g := buildLine(t, 16)
+	var P, Q []Point
+	for i := 0; i < 8; i++ {
+		P = append(P, Point{ID: int64(i), Node: NodeID(2 * i)})
+		Q = append(Q, Point{ID: int64(i), Node: NodeID(2*i + 1)})
+	}
+	want, _, err := Join(g, P, Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Pair
+	for pr, err := range JoinSeq(context.Background(), g, P, Q) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, pr)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].P.ID != got[i].P.ID || want[i].Q.ID != got[i].Q.ID {
+			t.Fatalf("pair %d: <%d,%d> vs <%d,%d>", i, got[i].P.ID, got[i].Q.ID, want[i].P.ID, want[i].Q.ID)
+		}
+	}
+}
+
+func TestJoinSeqCancelledAndEarlyBreak(t *testing.T) {
+	g := buildLine(t, 16)
+	var P, Q []Point
+	for i := 0; i < 8; i++ {
+		P = append(P, Point{ID: int64(i), Node: NodeID(2 * i)})
+		Q = append(Q, Point{ID: int64(i), Node: NodeID(2*i + 1)})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sawErr error
+	for _, err := range JoinSeq(ctx, g, P, Q) {
+		if err != nil {
+			sawErr = err
+			break
+		}
+	}
+	if !errors.Is(sawErr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", sawErr)
+	}
+	base := runtime.NumGoroutine()
+	n := 0
+	for _, err := range JoinSeq(context.Background(), g, P, Q) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n == 1 {
+			break
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > base {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > base {
+		t.Fatalf("goroutines leaked after early break: %d > %d", g, base)
 	}
 }
