@@ -1,5 +1,5 @@
-// Command rcjjoin computes the ring-constrained join of two CSV pointsets
-// and writes the result pairs — with their derived fair middleman locations —
+// Command rcjjoin computes the ring-constrained join of two pointsets and
+// writes the result pairs — with their derived fair middleman locations —
 // as CSV.
 //
 // Usage:
@@ -9,10 +9,18 @@
 //	rcjjoin -p a.csv -q b.csv -metric l1 -sort             # Manhattan, sorted
 //	rcjjoin -p a.csv -q b.csv -parallel 8                  # multi-core join
 //
-// Input rows are "id,x,y" or "x,y" (ids assigned in file order). Output rows
-// are "p_id,q_id,center_x,center_y,radius", one per RCJ pair. Results stream
-// as the join finds them; -sort buffers them for ascending ring-diameter
-// order instead. Interrupting the process (Ctrl-C) cancels the join cleanly.
+//	# Persist the built indexes, then join again without rebuilding:
+//	rcjjoin -p a.csv -q b.csv -save-index-p a.rcjx -save-index-q b.rcjx > out.csv
+//	rcjjoin -p a.rcjx -q b.rcjx -backend mmap > out.csv
+//
+// Each of -p and -q accepts either a CSV pointset ("id,x,y" or "x,y" rows,
+// ids assigned in file order) or a saved index file written by -save-index-*
+// (detected by its magic, conventionally named ".rcjx"); index inputs skip
+// the build entirely and are served through the backend chosen with
+// -backend. Output rows are "p_id,q_id,center_x,center_y,radius", one per
+// RCJ pair. Results stream as the join finds them; -sort buffers them for
+// ascending ring-diameter order instead. Interrupting the process (Ctrl-C)
+// cancels the join cleanly.
 package main
 
 import (
@@ -43,6 +51,9 @@ func main() {
 		algStr   = flag.String("alg", "obj", "algorithm: inj, bij, obj")
 		parallel = flag.Int("parallel", 1, "worker goroutines for the join")
 		bufPages = flag.Int("buffer", 0, "shared buffer pool size in pages (0 = unbounded)")
+		saveP    = flag.String("save-index-p", "", "after building P's index, save it to this file (skip the build next run by passing it as -p)")
+		saveQ    = flag.String("save-index-q", "", "after building Q's index, save it to this file")
+		backend  = flag.String("backend", "file", "pager backend for saved-index inputs: mem, file, or mmap")
 	)
 	flag.Parse()
 
@@ -51,17 +62,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *self && *saveQ != "" {
+		fatalf("-save-index-q has no effect with -self (Q is never loaded); use -save-index-p")
+	}
 
 	alg, ok := map[string]rcj.Algorithm{"inj": rcj.INJ, "bij": rcj.BIJ, "obj": rcj.OBJ}[*algStr]
 	if !ok {
 		fatalf("unknown algorithm %q", *algStr)
+	}
+	be, err := rcj.ParseBackend(*backend)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	eng := rcj.NewEngine(rcj.EngineConfig{BufferPages: *bufPages})
-	ixP := loadIndex(eng, *pPath)
+	loadIndex := func(path, save string) *rcj.Index {
+		return loadOrOpenIndex(eng, path, be, save)
+	}
+	ixP := loadIndex(*pPath, *saveP)
 	defer ixP.Close()
 
 	out := bufio.NewWriter(os.Stdout)
@@ -83,7 +104,7 @@ func main() {
 			if *self {
 				pairs, stats, err = eng.SelfJoinCollect(ctx, ixP, opts)
 			} else {
-				ixQ := loadIndex(eng, *qPath)
+				ixQ := loadIndex(*qPath, *saveQ)
 				defer ixQ.Close()
 				pairs, stats, err = eng.JoinCollect(ctx, ixQ, ixP, opts)
 			}
@@ -102,7 +123,7 @@ func main() {
 		if *self {
 			seq = eng.SelfJoin(ctx, ixP, opts)
 		} else {
-			ixQ := loadIndex(eng, *qPath)
+			ixQ := loadIndex(*qPath, *saveQ)
 			defer ixQ.Close()
 			seq = eng.Join(ctx, ixQ, ixP, opts)
 		}
@@ -133,7 +154,7 @@ func main() {
 		if *self {
 			pairs, stats, err = rcj.SelfJoinL1Context(ctx, ixP)
 		} else {
-			ixQ := loadIndex(eng, *qPath)
+			ixQ := loadIndex(*qPath, *saveQ)
 			defer ixQ.Close()
 			pairs, stats, err = rcj.JoinL1Context(ctx, ixQ, ixP)
 		}
@@ -156,23 +177,44 @@ func main() {
 	}
 }
 
-func loadIndex(eng *rcj.Engine, path string) *rcj.Index {
-	f, err := os.Open(path)
-	if err != nil {
-		fatalf("%v", err)
+// loadOrOpenIndex turns one -p/-q argument into a ready index: a saved index
+// file (recognized by its magic) is reopened through the chosen backend with
+// no build; anything else is read as a CSV pointset and indexed. When save is
+// non-empty the index is persisted there, so the next run can pass the saved
+// file instead of the CSV and skip the build entirely.
+func loadOrOpenIndex(eng *rcj.Engine, path string, backend rcj.Backend, save string) *rcj.Index {
+	var ix *rcj.Index
+	if rcj.IsIndexFile(path) {
+		var err error
+		ix, err = eng.OpenIndex(path, rcj.IndexConfig{Backend: backend})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "rcjjoin: opened index %s (%d points, %s backend)\n", path, ix.Len(), backend)
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		entries, err := workload.ReadPoints(bufio.NewReader(f))
+		if err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		pts := make([]rcj.Point, len(entries))
+		for i, e := range entries {
+			pts[i] = rcj.Point{X: e.P.X, Y: e.P.Y, ID: e.ID}
+		}
+		ix, err = eng.BuildIndex(pts, rcj.IndexConfig{})
+		if err != nil {
+			fatalf("index %s: %v", path, err)
+		}
 	}
-	defer f.Close()
-	entries, err := workload.ReadPoints(bufio.NewReader(f))
-	if err != nil {
-		fatalf("%s: %v", path, err)
-	}
-	pts := make([]rcj.Point, len(entries))
-	for i, e := range entries {
-		pts[i] = rcj.Point{X: e.P.X, Y: e.P.Y, ID: e.ID}
-	}
-	ix, err := eng.BuildIndex(pts, rcj.IndexConfig{})
-	if err != nil {
-		fatalf("index %s: %v", path, err)
+	if save != "" {
+		if err := ix.Save(save); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "rcjjoin: saved index %s (%d points)\n", save, ix.Len())
 	}
 	return ix
 }

@@ -1,0 +1,90 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// TestOpenReattachesWithoutRebuild builds a tree, then Opens a second Tree
+// over the same page image from Meta alone: the reopened tree must pass the
+// full structural Check and answer searches identically — without a single
+// page write.
+func TestOpenReattachesWithoutRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pager := storage.NewMemPager(storage.DefaultPageSize)
+	built, err := New(pager, buffer.NewPool(-1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := built.BulkLoad(randomEntries(rng, 2000), 0); err != nil {
+		t.Fatal(err)
+	}
+	writesBefore := pager.Stats().Writes
+
+	reopened, err := Open(pager, buffer.NewPool(-1), Config{Owner: 9}, built.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pager.Stats().Writes != writesBefore {
+		t.Fatalf("Open wrote %d pages", pager.Stats().Writes-writesBefore)
+	}
+	if reopened.Size() != built.Size() || reopened.Height() != built.Height() || reopened.Root() != built.Root() {
+		t.Fatalf("reopened meta %+v != built %+v", reopened.Meta(), built.Meta())
+	}
+	if err := reopened.Check(); err != nil {
+		t.Fatal(err)
+	}
+	w := geom.Rect{MinX: 2000, MinY: 2000, MaxX: 7000, MaxY: 7000}
+	a, err := built.RangeSearch(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := reopened.RangeSearch(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := func(s []PointEntry) { sort.Slice(s, func(i, j int) bool { return s[i].ID < s[j].ID }) }
+	byID(a)
+	byID(b)
+	if len(a) != len(b) {
+		t.Fatalf("range search: %d vs %d results", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestOpenRejectsBadMeta(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pager := storage.NewMemPager(storage.DefaultPageSize)
+	built, err := New(pager, buffer.NewPool(-1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := built.BulkLoad(randomEntries(rng, 500), 0); err != nil {
+		t.Fatal(err)
+	}
+	meta := built.Meta()
+	cases := map[string]Meta{
+		"root out of range": {Root: storage.PageID(pager.NumPages()), Height: meta.Height, Size: meta.Size},
+		"invalid root":      {Root: storage.InvalidPageID, Height: meta.Height, Size: meta.Size},
+		"zero height":       {Root: meta.Root, Height: 0, Size: meta.Size},
+		"leafness mismatch": {Root: meta.Root, Height: 1, Size: meta.Size},
+		"empty but rooted":  {Root: meta.Root, Height: meta.Height, Size: 0},
+	}
+	if meta.Height < 2 {
+		t.Fatal("test needs a multi-level tree")
+	}
+	for name, m := range cases {
+		if _, err := Open(pager, buffer.NewPool(-1), Config{}, m); err == nil {
+			t.Errorf("Open(%s) succeeded", name)
+		}
+	}
+}

@@ -99,6 +99,56 @@ func New(pager storage.Pager, pool *buffer.Pool, cfg Config) (*Tree, error) {
 	return t, nil
 }
 
+// Meta is the durable identity of a built tree: everything Open needs to
+// reattach to an existing page image without touching a single point. It is
+// what the storage superblock persists.
+type Meta struct {
+	// Root is the page id of the root node (storage.InvalidPageID when the
+	// tree is empty).
+	Root storage.PageID
+	// Height is the number of levels (1 when the root is a leaf, 0 empty).
+	Height int
+	// Size is the number of indexed points.
+	Size int
+}
+
+// Meta returns the tree's persistence metadata.
+func (t *Tree) Meta() Meta {
+	return Meta{Root: t.root, Height: t.height, Size: t.size}
+}
+
+// Open reattaches a tree to an existing page image: pager already holds the
+// node pages (typically an index file reopened through storage.OpenIndexFile)
+// and meta identifies the root. No points are read and no pages are written —
+// the one page Open touches is the root, to verify it decodes and its
+// leafness matches meta.Height, so gross superblock/page mismatches fail here
+// rather than mid-query. cfg must carry the page size the pages were encoded
+// with (and the Owner namespacing this tree in a shared pool).
+func Open(pager storage.Pager, pool *buffer.Pool, cfg Config, meta Meta) (*Tree, error) {
+	t, err := New(pager, pool, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Size == 0 {
+		if meta.Root != storage.InvalidPageID || meta.Height != 0 {
+			return nil, fmt.Errorf("rtree: open empty tree with root %d height %d", meta.Root, meta.Height)
+		}
+		return t, nil
+	}
+	if meta.Height < 1 || meta.Root == storage.InvalidPageID || int(meta.Root) >= pager.NumPages() {
+		return nil, fmt.Errorf("rtree: open with root %d height %d over %d pages", meta.Root, meta.Height, pager.NumPages())
+	}
+	t.root, t.height, t.size = meta.Root, meta.Height, meta.Size
+	root, err := t.ReadNode(t.root)
+	if err != nil {
+		return nil, fmt.Errorf("rtree: open: read root: %w", err)
+	}
+	if root.Leaf != (meta.Height == 1) {
+		return nil, fmt.Errorf("rtree: open: root leaf=%v inconsistent with height %d", root.Leaf, meta.Height)
+	}
+	return t, nil
+}
+
 // Size returns the number of indexed points.
 func (t *Tree) Size() int { return t.size }
 
@@ -118,6 +168,9 @@ func (t *Tree) NumPages() int { return t.pager.NumPages() }
 
 // Pool returns the buffer pool the tree reads through.
 func (t *Tree) Pool() *buffer.Pool { return t.pool }
+
+// PageSize returns the page size the tree's nodes are encoded for.
+func (t *Tree) PageSize() int { return t.cfg.PageSize }
 
 // LeafCap returns the leaf-node entry capacity.
 func (t *Tree) LeafCap() int { return t.maxLeaf }

@@ -4,21 +4,34 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // FilePager is a Pager backed by a single flat file: page i lives at byte
-// offset i·PageSize. It lets indexes built by this library persist on disk
-// and be reopened; the experiment harness uses MemPager, but the CLI tools
-// accept file-backed indexes for realistic end-to-end runs.
+// offset base+i·PageSize (base is 0 for raw page files and one page for
+// index files, whose first block holds the superblock). It lets indexes
+// built by this library persist on disk and be reopened; the experiment
+// harness uses MemPager, but the Engine and CLI tools accept file-backed
+// indexes for realistic end-to-end runs.
+//
+// The read path is lock-free: ReadAt is positional (pread), the page count
+// only grows, and the I/O counters are atomics, so any number of concurrent
+// joins can fault pages in without serializing on a mutex. Only Allocate,
+// WritePage, and Close take the mutex.
 type FilePager struct {
-	mu       sync.Mutex
 	f        *os.File
 	pageSize int
-	numPages int
-	stats    Stats
+	base     int64 // byte offset of page 0
+	readOnly bool
+
+	mu       sync.Mutex // serializes Allocate/WritePage/Close
+	closed   bool
+	numPages atomic.Int64
+	reads    atomic.Int64
+	writes   atomic.Int64
 }
 
-// CreateFilePager creates (truncating) a page file at path.
+// CreateFilePager creates (truncating) a raw page file at path.
 func CreateFilePager(path string, pageSize int) (*FilePager, error) {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
@@ -30,7 +43,8 @@ func CreateFilePager(path string, pageSize int) (*FilePager, error) {
 	return &FilePager{f: f, pageSize: pageSize}, nil
 }
 
-// OpenFilePager opens an existing page file created with the same pageSize.
+// OpenFilePager opens an existing raw page file created with the same
+// pageSize.
 func OpenFilePager(path string, pageSize int) (*FilePager, error) {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
@@ -48,87 +62,111 @@ func OpenFilePager(path string, pageSize int) (*FilePager, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: page file size %d not a multiple of page size %d", info.Size(), pageSize)
 	}
-	return &FilePager{f: f, pageSize: pageSize, numPages: int(info.Size() / int64(pageSize))}, nil
+	p := &FilePager{f: f, pageSize: pageSize}
+	p.numPages.Store(info.Size() / int64(pageSize))
+	return p, nil
+}
+
+// openedFilePager wraps an already-open, already-validated file as a
+// read-only pager whose pages start at base. Used by OpenIndexFile, which
+// has read the superblock and knows the page count.
+func openedFilePager(f *os.File, pageSize int, base int64, numPages int) *FilePager {
+	p := &FilePager{f: f, pageSize: pageSize, base: base, readOnly: true}
+	p.numPages.Store(int64(numPages))
+	return p
 }
 
 // PageSize returns the page size in bytes.
 func (p *FilePager) PageSize() int { return p.pageSize }
 
 // NumPages returns the number of allocated pages.
-func (p *FilePager) NumPages() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.numPages
-}
+func (p *FilePager) NumPages() int { return int(p.numPages.Load()) }
 
 // Allocate extends the file by one zeroed page.
 func (p *FilePager) Allocate() (PageID, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	id := PageID(p.numPages)
+	if p.readOnly {
+		return InvalidPageID, fmt.Errorf("%w: allocate", ErrReadOnly)
+	}
+	n := p.numPages.Load()
+	if n >= int64(InvalidPageID) {
+		return InvalidPageID, fmt.Errorf("storage: pager full")
+	}
 	zero := make([]byte, p.pageSize)
-	if _, err := p.f.WriteAt(zero, int64(p.numPages)*int64(p.pageSize)); err != nil {
+	if _, err := p.f.WriteAt(zero, p.base+n*int64(p.pageSize)); err != nil {
 		return InvalidPageID, fmt.Errorf("storage: allocate page: %w", err)
 	}
-	p.numPages++
-	p.stats.Writes++
-	return id, nil
+	p.numPages.Store(n + 1)
+	p.writes.Add(1)
+	return PageID(n), nil
 }
 
-// ReadPage copies page id into buf.
+// ReadPage copies page id into buf. It takes no lock: the read is one
+// positional pread and the bounds check races only with growth, never
+// shrinkage.
 func (p *FilePager) ReadPage(id PageID, buf []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if int(id) >= p.numPages {
-		return fmt.Errorf("%w: read %d of %d", ErrPageOutOfRange, id, p.numPages)
+	if n := p.numPages.Load(); int64(id) >= n {
+		return fmt.Errorf("%w: read %d of %d", ErrPageOutOfRange, id, n)
 	}
 	if len(buf) < p.pageSize {
 		return fmt.Errorf("storage: read buffer %d smaller than page size %d", len(buf), p.pageSize)
 	}
-	if _, err := p.f.ReadAt(buf[:p.pageSize], int64(id)*int64(p.pageSize)); err != nil {
+	if _, err := p.f.ReadAt(buf[:p.pageSize], p.base+int64(id)*int64(p.pageSize)); err != nil {
 		return fmt.Errorf("storage: read page %d: %w", id, err)
 	}
-	p.stats.Reads++
+	p.reads.Add(1)
 	return nil
 }
 
-// WritePage stores buf as page id.
+// WritePage stores buf as page id, zero-padding short writes to a full page.
+// A full-page buf is written directly, with no intermediate copy.
 func (p *FilePager) WritePage(id PageID, buf []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if int(id) >= p.numPages {
-		return fmt.Errorf("%w: write %d of %d", ErrPageOutOfRange, id, p.numPages)
+	if p.readOnly {
+		return fmt.Errorf("%w: write page %d", ErrReadOnly, id)
+	}
+	if n := p.numPages.Load(); int64(id) >= n {
+		return fmt.Errorf("%w: write %d of %d", ErrPageOutOfRange, id, n)
 	}
 	if len(buf) > p.pageSize {
 		return fmt.Errorf("storage: write of %d bytes exceeds page size %d", len(buf), p.pageSize)
 	}
-	page := make([]byte, p.pageSize)
-	copy(page, buf)
-	if _, err := p.f.WriteAt(page, int64(id)*int64(p.pageSize)); err != nil {
+	off := p.base + int64(id)*int64(p.pageSize)
+	if _, err := p.f.WriteAt(buf, off); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
 	}
-	p.stats.Writes++
+	if len(buf) < p.pageSize {
+		zero := make([]byte, p.pageSize-len(buf))
+		if _, err := p.f.WriteAt(zero, off+int64(len(buf))); err != nil {
+			return fmt.Errorf("storage: write page %d: %w", id, err)
+		}
+	}
+	p.writes.Add(1)
 	return nil
 }
 
 // Stats returns cumulative physical I/O counters.
 func (p *FilePager) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{Reads: p.reads.Load(), Writes: p.writes.Load()}
 }
 
-// Close syncs and closes the backing file.
+// Close syncs and closes the backing file. In-flight lock-free reads racing
+// Close fail with os.ErrClosed rather than corrupting state.
 func (p *FilePager) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.f == nil {
+	if p.closed {
 		return nil
 	}
-	err := p.f.Sync()
+	p.closed = true
+	var err error
+	if !p.readOnly {
+		err = p.f.Sync()
+	}
 	if cerr := p.f.Close(); err == nil {
 		err = cerr
 	}
-	p.f = nil
 	return err
 }

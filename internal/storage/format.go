@@ -1,0 +1,366 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// The durable index file format (".rcjx"):
+//
+//	block 0               one page-sized header block; the superblock
+//	                      occupies its first SuperblockSize bytes, the rest
+//	                      is zero
+//	blocks 1..NumPages    the pager's pages, verbatim, page i at byte
+//	                      offset PageSize·(1+i)
+//
+// The superblock is versioned and checksummed so a reopening process can
+// reject foreign, corrupt, or truncated files with a typed error before it
+// ever walks a tree page.
+//
+// Superblock layout (little endian):
+//
+//	offset  0: [8]byte  magic "RCJXIDX\x00"
+//	offset  8: uint16   format version (currently 1)
+//	offset 10: uint16   reserved (zero)
+//	offset 12: uint32   page size in bytes
+//	offset 16: uint32   number of pages following the header block
+//	offset 20: uint32   root page id
+//	offset 24: uint32   tree height (1 = root is a leaf)
+//	offset 28: uint64   entry (point) count
+//	offset 36: 4×float64 dataset MBR: minX, minY, maxX, maxY
+//	offset 68: uint32   CRC-32 (IEEE) of bytes [0, 68)
+const (
+	// SuperblockSize is the encoded size of a Superblock in bytes.
+	SuperblockSize = 72
+	// FormatVersion is the current index file format version.
+	FormatVersion = 1
+)
+
+// Magic identifies an index file; it is the first 8 bytes of the superblock.
+var Magic = [8]byte{'R', 'C', 'J', 'X', 'I', 'D', 'X', 0}
+
+// Typed errors for index-file validation. OpenIndexFile (and everything
+// layered above it) wraps these, so callers can errors.Is-match the failure
+// mode.
+var (
+	// ErrBadMagic means the file does not start with the index magic.
+	ErrBadMagic = errors.New("storage: bad index file magic")
+	// ErrBadVersion means the superblock's format version is unsupported.
+	ErrBadVersion = errors.New("storage: unsupported index format version")
+	// ErrBadChecksum means the superblock's CRC does not match its contents.
+	ErrBadChecksum = errors.New("storage: superblock checksum mismatch")
+	// ErrTruncated means the file is shorter than its superblock promises.
+	ErrTruncated = errors.New("storage: truncated index file")
+	// ErrCorrupt means a superblock field is internally inconsistent.
+	ErrCorrupt = errors.New("storage: corrupt index file")
+	// ErrPageSizeMismatch means the file's page size differs from the one
+	// the caller required.
+	ErrPageSizeMismatch = errors.New("storage: page size mismatch")
+)
+
+// Superblock is the tree-metadata block at the head of an index file: enough
+// to reattach an R-tree to the page image without touching a single point.
+type Superblock struct {
+	PageSize int        // fixed page size in bytes
+	NumPages int        // pages following the header block
+	Root     PageID     // page id of the tree root (InvalidPageID when empty)
+	Height   int        // tree height (1 = root is a leaf, 0 = empty)
+	Count    int64      // number of indexed entries
+	MBR      [4]float64 // dataset bounding rect: minX, minY, maxX, maxY
+}
+
+// EncodeSuperblock serializes sb into buf, which must be at least
+// SuperblockSize bytes. It fails on a superblock that Validate rejects, so
+// every encoded superblock decodes cleanly.
+func EncodeSuperblock(sb Superblock, buf []byte) error {
+	if len(buf) < SuperblockSize {
+		return fmt.Errorf("storage: superblock buffer %d smaller than %d", len(buf), SuperblockSize)
+	}
+	if err := sb.Validate(); err != nil {
+		return err
+	}
+	copy(buf[0:8], Magic[:])
+	binary.LittleEndian.PutUint16(buf[8:], FormatVersion)
+	binary.LittleEndian.PutUint16(buf[10:], 0)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(sb.PageSize))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(sb.NumPages))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(sb.Root))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(sb.Height))
+	binary.LittleEndian.PutUint64(buf[28:], uint64(sb.Count))
+	for i, v := range sb.MBR {
+		binary.LittleEndian.PutUint64(buf[36+8*i:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint32(buf[68:], crc32.ChecksumIEEE(buf[:68]))
+	return nil
+}
+
+// DecodeSuperblock parses and validates a superblock. Failures carry one of
+// the typed errors above.
+func DecodeSuperblock(buf []byte) (Superblock, error) {
+	if len(buf) < SuperblockSize {
+		return Superblock{}, fmt.Errorf("%w: %d bytes, superblock needs %d", ErrTruncated, len(buf), SuperblockSize)
+	}
+	if [8]byte(buf[0:8]) != Magic {
+		return Superblock{}, fmt.Errorf("%w: %q", ErrBadMagic, buf[0:8])
+	}
+	if v := binary.LittleEndian.Uint16(buf[8:]); v != FormatVersion {
+		return Superblock{}, fmt.Errorf("%w: %d (supported: %d)", ErrBadVersion, v, FormatVersion)
+	}
+	if r := binary.LittleEndian.Uint16(buf[10:]); r != 0 {
+		return Superblock{}, fmt.Errorf("%w: reserved field %#x", ErrCorrupt, r)
+	}
+	want := binary.LittleEndian.Uint32(buf[68:])
+	if got := crc32.ChecksumIEEE(buf[:68]); got != want {
+		return Superblock{}, fmt.Errorf("%w: computed %08x, stored %08x", ErrBadChecksum, got, want)
+	}
+	sb := Superblock{
+		PageSize: int(binary.LittleEndian.Uint32(buf[12:])),
+		NumPages: int(binary.LittleEndian.Uint32(buf[16:])),
+		Root:     PageID(binary.LittleEndian.Uint32(buf[20:])),
+		Height:   int(binary.LittleEndian.Uint32(buf[24:])),
+		Count:    int64(binary.LittleEndian.Uint64(buf[28:])),
+	}
+	for i := range sb.MBR {
+		sb.MBR[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[36+8*i:]))
+	}
+	if err := sb.Validate(); err != nil {
+		return Superblock{}, err
+	}
+	return sb, nil
+}
+
+// Validate checks the superblock's internal consistency: sane page size, a
+// root that lies inside the page range, and height/count agreement.
+func (sb Superblock) Validate() error {
+	if sb.PageSize < SuperblockSize || sb.PageSize > 1<<24 {
+		return fmt.Errorf("%w: page size %d", ErrCorrupt, sb.PageSize)
+	}
+	if sb.NumPages < 0 || sb.NumPages > int(InvalidPageID) {
+		return fmt.Errorf("%w: page count %d", ErrCorrupt, sb.NumPages)
+	}
+	if sb.Count < 0 {
+		return fmt.Errorf("%w: entry count %d", ErrCorrupt, sb.Count)
+	}
+	if sb.Count == 0 {
+		if sb.Root != InvalidPageID || sb.Height != 0 {
+			return fmt.Errorf("%w: empty tree with root %d height %d", ErrCorrupt, sb.Root, sb.Height)
+		}
+		return nil
+	}
+	if sb.Root == InvalidPageID || int(sb.Root) >= sb.NumPages {
+		return fmt.Errorf("%w: root page %d of %d pages", ErrCorrupt, sb.Root, sb.NumPages)
+	}
+	if sb.Height < 1 || sb.Height > 64 {
+		return fmt.Errorf("%w: tree height %d", ErrCorrupt, sb.Height)
+	}
+	return nil
+}
+
+// WriteIndexFile durably writes src's pages to path in the index file
+// format, prefixed by sb. sb must describe src exactly (page size and page
+// count). The file is written to a temp sibling and renamed into place, so a
+// crashed Save never leaves a half-written index at path.
+func WriteIndexFile(path string, sb Superblock, src Pager) error {
+	if sb.PageSize != src.PageSize() {
+		return fmt.Errorf("storage: superblock page size %d != pager page size %d", sb.PageSize, src.PageSize())
+	}
+	if sb.NumPages != src.NumPages() {
+		return fmt.Errorf("storage: superblock page count %d != pager page count %d", sb.NumPages, src.NumPages())
+	}
+	// A unique temp name per writer: concurrent Saves to the same path must
+	// not interleave into one tmp file, or the rename would install a blend
+	// of two page images.
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("storage: create index file: %w", err)
+	}
+	tmp := f.Name()
+	err = func() error {
+		if err := f.Chmod(0o644); err != nil { // CreateTemp defaults to 0600
+			return err
+		}
+		w := bufio.NewWriterSize(f, 1<<16)
+		header := make([]byte, sb.PageSize)
+		if err := EncodeSuperblock(sb, header); err != nil {
+			return err
+		}
+		if _, err := w.Write(header); err != nil {
+			return err
+		}
+		buf := make([]byte, sb.PageSize)
+		for i := 0; i < sb.NumPages; i++ {
+			if err := src.ReadPage(PageID(i), buf); err != nil {
+				return err
+			}
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: write index file: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: write index file: %w", err)
+	}
+	return nil
+}
+
+// ReadSuperblockFile reads and validates the superblock of the index file at
+// path without touching its pages.
+func ReadSuperblockFile(path string) (Superblock, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Superblock{}, err
+	}
+	defer f.Close()
+	buf := make([]byte, SuperblockSize)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return Superblock{}, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return DecodeSuperblock(buf)
+}
+
+// SniffIndexFile reports whether the file at path begins with the index
+// magic (i.e. looks like an index file rather than, say, a CSV). It reads at
+// most 8 bytes and never fails on short or unreadable files.
+func SniffIndexFile(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var m [8]byte
+	if _, err := io.ReadFull(f, m[:]); err != nil {
+		return false
+	}
+	return m == Magic
+}
+
+// OpenIndexFile validates the index file at path and returns a read-only
+// Pager over its pages, materialized by the chosen backend, plus the decoded
+// superblock. Validation failures carry the typed errors above.
+func OpenIndexFile(path string, backend Backend) (Pager, Superblock, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Superblock{}, fmt.Errorf("storage: open index file: %w", err)
+	}
+	sbBuf := make([]byte, SuperblockSize)
+	if _, err := io.ReadFull(f, sbBuf); err != nil {
+		f.Close()
+		return nil, Superblock{}, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	sb, err := DecodeSuperblock(sbBuf)
+	if err != nil {
+		f.Close()
+		return nil, Superblock{}, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, Superblock{}, fmt.Errorf("storage: stat index file: %w", err)
+	}
+	need := int64(sb.PageSize) * int64(1+sb.NumPages)
+	if info.Size() < need {
+		f.Close()
+		return nil, Superblock{}, fmt.Errorf("%w: %d bytes, superblock promises %d", ErrTruncated, info.Size(), need)
+	}
+	offset := int64(sb.PageSize)
+	switch backend {
+	case BackendMem:
+		pager, err := readMemPager(f, sb, offset)
+		f.Close()
+		if err != nil {
+			return nil, Superblock{}, err
+		}
+		return pager, sb, nil
+	case BackendFile:
+		return openedFilePager(f, sb.PageSize, offset, sb.NumPages), sb, nil
+	case BackendMmap:
+		pager, err := newMmapPager(f, sb.PageSize, offset, sb.NumPages)
+		f.Close()
+		if err != nil {
+			return nil, Superblock{}, err
+		}
+		return pager, sb, nil
+	default:
+		f.Close()
+		return nil, Superblock{}, fmt.Errorf("storage: unknown backend %d", backend)
+	}
+}
+
+// readMemPager loads every page of the open index file into a MemPager, so
+// subsequent reads never touch the file again.
+func readMemPager(f *os.File, sb Superblock, offset int64) (*MemPager, error) {
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("storage: seek index pages: %w", err)
+	}
+	r := bufio.NewReaderSize(f, 1<<16)
+	pages := make([][]byte, sb.NumPages)
+	for i := range pages {
+		pages[i] = make([]byte, sb.PageSize)
+		if _, err := io.ReadFull(r, pages[i]); err != nil {
+			return nil, fmt.Errorf("%w: page %d: %v", ErrTruncated, i, err)
+		}
+	}
+	return &MemPager{pageSize: sb.PageSize, pages: pages}, nil
+}
+
+// Backend selects how an index file's pages are accessed after open.
+type Backend int
+
+const (
+	// BackendMem loads the whole page image into memory up front: fastest
+	// reads, full-file RAM cost. The default, matching in-memory builds.
+	BackendMem Backend = iota
+	// BackendFile serves pages with positional reads (pread) from the file:
+	// bounded memory, one syscall per buffer-pool miss.
+	BackendFile
+	// BackendMmap maps the file read-only and copies pages out of the
+	// mapping: bounded memory, page-cache-speed faults, no read syscalls.
+	BackendMmap
+)
+
+// String returns the flag-style name of the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendMem:
+		return "mem"
+	case BackendFile:
+		return "file"
+	case BackendMmap:
+		return "mmap"
+	default:
+		return fmt.Sprintf("backend(%d)", int(b))
+	}
+}
+
+// ParseBackend parses a flag-style backend name ("mem", "file", "mmap").
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "mem", "memory":
+		return BackendMem, nil
+	case "file":
+		return BackendFile, nil
+	case "mmap":
+		return BackendMmap, nil
+	default:
+		return 0, fmt.Errorf("storage: unknown backend %q (want mem, file, or mmap)", s)
+	}
+}

@@ -1,0 +1,46 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSuperblock throws arbitrary bytes at the superblock decoder: it
+// must never panic, and anything it accepts must re-encode to the identical
+// bytes (the format has no redundant encodings).
+func FuzzDecodeSuperblock(f *testing.F) {
+	valid := make([]byte, SuperblockSize)
+	if err := EncodeSuperblock(Superblock{
+		PageSize: DefaultPageSize,
+		NumPages: 9,
+		Root:     3,
+		Height:   2,
+		Count:    1000,
+		MBR:      [4]float64{0, 0, 10000, 10000},
+	}, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:SuperblockSize/2])
+	corrupt := append([]byte(nil), valid...)
+	corrupt[20] ^= 0xFF
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sb, err := DecodeSuperblock(data)
+		if err != nil {
+			return
+		}
+		if err := sb.Validate(); err != nil {
+			t.Fatalf("decoder accepted a superblock Validate rejects: %v", err)
+		}
+		out := make([]byte, SuperblockSize)
+		if err := EncodeSuperblock(sb, out); err != nil {
+			t.Fatalf("re-encode of accepted superblock failed: %v", err)
+		}
+		if !bytes.Equal(out, data[:SuperblockSize]) {
+			t.Fatalf("re-encode differs:\n got %x\nwant %x", out, data[:SuperblockSize])
+		}
+	})
+}

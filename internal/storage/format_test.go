@@ -1,0 +1,219 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testSuperblock() Superblock {
+	return Superblock{
+		PageSize: DefaultPageSize,
+		NumPages: 7,
+		Root:     6,
+		Height:   2,
+		Count:    123,
+		MBR:      [4]float64{-1.5, 0, 10000.25, 9999},
+	}
+}
+
+func TestSuperblockRoundTrip(t *testing.T) {
+	sb := testSuperblock()
+	buf := make([]byte, SuperblockSize)
+	if err := EncodeSuperblock(sb, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSuperblock(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sb {
+		t.Fatalf("round trip: got %+v, want %+v", got, sb)
+	}
+}
+
+func TestSuperblockCorruption(t *testing.T) {
+	valid := make([]byte, SuperblockSize)
+	if err := EncodeSuperblock(testSuperblock(), valid); err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		f(b)
+		return b
+	}
+	reseal := func(b []byte) { // recompute the CRC so deeper validation runs
+		binary.LittleEndian.PutUint32(b[68:], crc32.ChecksumIEEE(b[:68]))
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"truncated", valid[:SuperblockSize-1], ErrTruncated},
+		{"empty", nil, ErrTruncated},
+		{"bad magic", mutate(func(b []byte) { b[0] = 'X' }), ErrBadMagic},
+		{"bad version", mutate(func(b []byte) {
+			binary.LittleEndian.PutUint16(b[8:], 99)
+		}), ErrBadVersion},
+		{"bad checksum", mutate(func(b []byte) { b[30] ^= 0xFF }), ErrBadChecksum},
+		{"insane page size", mutate(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[12:], 8)
+			reseal(b)
+		}), ErrCorrupt},
+		{"root out of range", mutate(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[20:], 7) // == NumPages
+			reseal(b)
+		}), ErrCorrupt},
+		{"zero height with entries", mutate(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[24:], 0)
+			reseal(b)
+		}), ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeSuperblock(tc.buf)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("DecodeSuperblock = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Backend
+	}{{"mem", BackendMem}, {"memory", BackendMem}, {"file", BackendFile}, {"mmap", BackendMmap}} {
+		got, err := ParseBackend(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseBackend(%q) = %v, %v", tc.in, got, err)
+		}
+		if tc.in != "memory" && got.String() != tc.in {
+			t.Fatalf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseBackend("s3"); err == nil {
+		t.Fatal("ParseBackend(s3) succeeded")
+	}
+}
+
+// writeTestIndexFile builds a small page image with recognizable contents
+// and writes it in the index format.
+func writeTestIndexFile(t *testing.T, path string, numPages int) Superblock {
+	t.Helper()
+	src := NewMemPager(DefaultPageSize)
+	for i := 0; i < numPages; i++ {
+		id, err := src.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		page := bytes.Repeat([]byte{byte(i + 1)}, DefaultPageSize)
+		if err := src.WritePage(id, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sb := Superblock{
+		PageSize: DefaultPageSize,
+		NumPages: numPages,
+		Root:     PageID(numPages - 1),
+		Height:   1,
+		Count:    int64(numPages * 3),
+		MBR:      [4]float64{0, 0, 1, 1},
+	}
+	if err := WriteIndexFile(path, sb, src); err != nil {
+		t.Fatal(err)
+	}
+	return sb
+}
+
+func TestIndexFileBackends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.rcjx")
+	want := writeTestIndexFile(t, path, 5)
+
+	backends := []Backend{BackendMem, BackendFile}
+	if MmapSupported {
+		backends = append(backends, BackendMmap)
+	}
+	for _, be := range backends {
+		t.Run(be.String(), func(t *testing.T) {
+			pager, sb, err := OpenIndexFile(path, be)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pager.Close()
+			if sb != want {
+				t.Fatalf("superblock %+v, want %+v", sb, want)
+			}
+			if pager.NumPages() != want.NumPages || pager.PageSize() != want.PageSize {
+				t.Fatalf("pager shape %d×%d", pager.NumPages(), pager.PageSize())
+			}
+			buf := make([]byte, want.PageSize)
+			for i := 0; i < want.NumPages; i++ {
+				if err := pager.ReadPage(PageID(i), buf); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf, bytes.Repeat([]byte{byte(i + 1)}, want.PageSize)) {
+					t.Fatalf("page %d contents differ", i)
+				}
+			}
+			if err := pager.ReadPage(PageID(want.NumPages), buf); !errors.Is(err, ErrPageOutOfRange) {
+				t.Fatalf("out-of-range read = %v", err)
+			}
+			if be != BackendMem { // the mem backend copies; copies stay writable
+				if _, err := pager.Allocate(); !errors.Is(err, ErrReadOnly) {
+					t.Fatalf("Allocate on %s = %v, want ErrReadOnly", be, err)
+				}
+				if err := pager.WritePage(0, buf); !errors.Is(err, ErrReadOnly) {
+					t.Fatalf("WritePage on %s = %v, want ErrReadOnly", be, err)
+				}
+			}
+			if st := pager.Stats(); st.Reads < int64(want.NumPages) {
+				t.Fatalf("Stats.Reads = %d, want >= %d", st.Reads, want.NumPages)
+			}
+		})
+	}
+}
+
+func TestOpenIndexFileTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.rcjx")
+	writeTestIndexFile(t, path, 5)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(data) - 1, DefaultPageSize + 10, SuperblockSize - 4, 0} {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := OpenIndexFile(path, BackendFile); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: OpenIndexFile = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestReadSuperblockFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.rcjx")
+	want := writeTestIndexFile(t, path, 3)
+	got, err := ReadSuperblockFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("superblock %+v, want %+v", got, want)
+	}
+	if !SniffIndexFile(path) {
+		t.Fatal("SniffIndexFile(index) = false")
+	}
+	csv := filepath.Join(t.TempDir(), "points.csv")
+	if err := os.WriteFile(csv, []byte("1,2.0,3.0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if SniffIndexFile(csv) {
+		t.Fatal("SniffIndexFile(csv) = true")
+	}
+}

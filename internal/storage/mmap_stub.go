@@ -1,0 +1,21 @@
+//go:build !unix
+
+package storage
+
+import (
+	"errors"
+	"os"
+)
+
+// MmapSupported reports whether the mmap backend is available on this
+// platform.
+const MmapSupported = false
+
+// ErrMmapUnsupported is returned by the mmap backend on platforms without
+// memory-mapped files; callers should fall back to BackendFile.
+var ErrMmapUnsupported = errors.New("storage: mmap backend not supported on this platform")
+
+// newMmapPager fails on non-unix platforms.
+func newMmapPager(f *os.File, pageSize int, base int64, numPages int) (Pager, error) {
+	return nil, ErrMmapUnsupported
+}

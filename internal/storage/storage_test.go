@@ -182,3 +182,97 @@ func TestMemPagerConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestFilePagerConcurrent hammers the lock-free read path (satellite of the
+// durable-storage refactor): many goroutines read while one writes and one
+// allocates. Run with -race.
+func TestFilePagerConcurrent(t *testing.T) {
+	p, err := CreateFilePager(filepath.Join(t.TempDir(), "pages.db"), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	const pages = 16
+	ids := make([]PageID, pages)
+	for i := range ids {
+		id, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		if err := p.WritePage(id, bytes.Repeat([]byte{byte(i)}, 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 256)
+			for i := 0; i < 300; i++ {
+				switch {
+				case g == 0 && i%10 == 0: // one writer refreshes pages
+					if err := p.WritePage(ids[i%pages], buf); err != nil {
+						t.Error(err)
+						return
+					}
+				case g == 1 && i%50 == 0: // occasional growth
+					if _, err := p.Allocate(); err != nil {
+						t.Error(err)
+						return
+					}
+				default: // everyone else reads lock-free
+					if err := p.ReadPage(ids[(g*5+i)%pages], buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := p.Stats(); st.Reads == 0 || st.Writes == 0 {
+		t.Fatalf("stats not counting: %+v", st)
+	}
+}
+
+// TestReadOnlyPagersConcurrent checks the serving-side pagers (file and
+// mmap over an index file) under concurrent readers. Run with -race.
+func TestReadOnlyPagersConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ix.rcjx")
+	want := writeTestIndexFile(t, path, 8)
+	backends := []Backend{BackendFile}
+	if MmapSupported {
+		backends = append(backends, BackendMmap)
+	}
+	for _, be := range backends {
+		t.Run(be.String(), func(t *testing.T) {
+			pager, _, err := OpenIndexFile(path, be)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pager.Close()
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					buf := make([]byte, want.PageSize)
+					for i := 0; i < 300; i++ {
+						id := PageID((g*3 + i) % want.NumPages)
+						if err := pager.ReadPage(id, buf); err != nil {
+							t.Error(err)
+							return
+						}
+						if buf[0] != byte(id+1) {
+							t.Errorf("page %d: got byte %d", id, buf[0])
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}

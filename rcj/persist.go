@@ -1,0 +1,117 @@
+package rcj
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// Backend selects how a saved index's pages are accessed after OpenIndex:
+// loaded fully into memory (BackendMem, the default), served by positional
+// file reads (BackendFile), or memory-mapped read-only (BackendMmap,
+// unix-only). See IndexConfig.Backend.
+type Backend = storage.Backend
+
+// The available pager backends.
+const (
+	BackendMem  = storage.BackendMem
+	BackendFile = storage.BackendFile
+	BackendMmap = storage.BackendMmap
+)
+
+// ParseBackend parses a flag-style backend name ("mem", "file", "mmap").
+func ParseBackend(s string) (Backend, error) { return storage.ParseBackend(s) }
+
+// IsIndexFile reports whether the file at path is a saved index (starts with
+// the index magic) rather than raw point data.
+func IsIndexFile(path string) bool { return storage.SniffIndexFile(path) }
+
+// Save durably writes the index to path in the versioned index file format:
+// a checksummed superblock (page size, root page, entry count, dataset MBR)
+// followed by the raw page image. The file is written atomically (temp +
+// rename). A saved index reopens via OpenIndex or Engine.OpenIndex in any
+// later process, skipping the build entirely; the conventional extension is
+// ".rcjx".
+func (ix *Index) Save(path string) error {
+	meta := ix.tree.Meta()
+	mbr, err := ix.tree.RootMBR()
+	if err != nil {
+		return fmt.Errorf("rcj: save index: %w", err)
+	}
+	sb := storage.Superblock{
+		PageSize: ix.tree.PageSize(),
+		NumPages: ix.pager.NumPages(),
+		Root:     meta.Root,
+		Height:   meta.Height,
+		Count:    int64(meta.Size),
+		MBR:      [4]float64{mbr.MinX, mbr.MinY, mbr.MaxX, mbr.MaxY},
+	}
+	if err := storage.WriteIndexFile(path, sb, ix.pager); err != nil {
+		return fmt.Errorf("rcj: save index: %w", err)
+	}
+	return nil
+}
+
+// OpenIndex reopens an index previously written by Save, with a private
+// buffer pool (the OpenIndex analogue of BuildIndex). cfg.Backend picks the
+// page substrate; cfg.PageSize, when nonzero, must match the file's page
+// size (storage.ErrPageSizeMismatch otherwise). cfg.InsertBuild and cfg.Path
+// are ignored. Corrupt, truncated, or foreign files fail with the typed
+// errors in package storage (ErrBadMagic, ErrBadChecksum, ErrTruncated, ...).
+func OpenIndex(path string, cfg IndexConfig) (*Index, error) {
+	capacity := cfg.BufferPages
+	if capacity <= 0 {
+		capacity = -1
+	}
+	return openIndex(path, cfg, buffer.NewPool(capacity), 0, false)
+}
+
+// OpenIndex reopens an index previously written by Save and attaches it to
+// the engine's shared buffer pool under a fresh owner id, ready to serve
+// concurrent joins alongside indexes the engine built itself. This is the
+// cold-start path: one long-lived Engine serving joins over indexes it never
+// built. See the package-level OpenIndex for cfg semantics.
+func (e *Engine) OpenIndex(path string, cfg IndexConfig) (*Index, error) {
+	return openIndex(path, cfg, e.pool, e.nextOwner.Add(1), true)
+}
+
+// openIndex is the shared reopen path: validate the file, stand up the
+// chosen pager backend, and reattach a tree to the page image without
+// touching a single point.
+func openIndex(path string, cfg IndexConfig, pool *buffer.Pool, owner uint32, shared bool) (*Index, error) {
+	pager, sb, err := storage.OpenIndexFile(path, cfg.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("rcj: open index %s: %w", path, err)
+	}
+	if cfg.PageSize > 0 && cfg.PageSize != sb.PageSize {
+		pager.Close()
+		return nil, fmt.Errorf("rcj: open index %s: %w: file has %d, config wants %d",
+			path, storage.ErrPageSizeMismatch, sb.PageSize, cfg.PageSize)
+	}
+	tree, err := rtree.Open(pager, pool, rtree.Config{PageSize: sb.PageSize, Owner: owner}, rtree.Meta{
+		Root:   sb.Root,
+		Height: sb.Height,
+		Size:   int(sb.Count),
+	})
+	if err != nil {
+		pager.Close()
+		return nil, fmt.Errorf("rcj: open index %s: %w", path, err)
+	}
+	// The superblock's MBR must agree bit-for-bit with the root page: both
+	// derive from the same node encoding, so any difference means the pages
+	// and metadata are from different builds.
+	mbr, err := tree.RootMBR()
+	if err != nil {
+		pager.Close()
+		return nil, fmt.Errorf("rcj: open index %s: %w", path, err)
+	}
+	if (geom.Rect{MinX: sb.MBR[0], MinY: sb.MBR[1], MaxX: sb.MBR[2], MaxY: sb.MBR[3]}) != mbr {
+		pager.Close()
+		return nil, fmt.Errorf("rcj: open index %s: %w: superblock MBR %v != root MBR %+v",
+			path, storage.ErrCorrupt, sb.MBR, mbr)
+	}
+	return &Index{tree: tree, pager: pager, pool: pool, pts: int(sb.Count), owner: owner, shared: shared}, nil
+}

@@ -86,8 +86,15 @@ type IndexConfig struct {
 	// (everything cached), negative also means unbounded.
 	BufferPages int
 	// Path, when non-empty, stores index pages in the file at this path
-	// instead of memory.
+	// instead of memory. (This is the raw page file used during a build; a
+	// finished index is persisted in the durable index format with
+	// Index.Save and reopened with OpenIndex.)
 	Path string
+	// Backend selects the page substrate OpenIndex serves a saved index
+	// from: BackendMem (default) loads the whole page image into memory,
+	// BackendFile reads pages from the file on each buffer miss, and
+	// BackendMmap maps the file read-only. Ignored by BuildIndex.
+	Backend Backend
 }
 
 // Index is an immutable spatial index over one dataset, ready to join. An
