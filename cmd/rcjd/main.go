@@ -1,0 +1,109 @@
+// Command rcjd is the ring-constrained join daemon: a long-lived process
+// serving streaming RCJ queries over pre-built saved indexes (.rcjx) to
+// HTTP clients, with bounded concurrency, FIFO admission queueing, and
+// per-request observability.
+//
+// Usage:
+//
+//	rcjd -addr :8080 \
+//	     -index restaurants=restaurants.rcjx -index residences=residences.rcjx \
+//	     -backend mmap -buffer 4096 \
+//	     -max-concurrent 4 -max-queue 64 -queue-timeout 2s -join-timeout 1m
+//
+//	# Stream a join (NDJSON, one pair per line, summary last):
+//	curl -sN localhost:8080/join -d '{"p":"restaurants","q":"residences"}'
+//
+//	# Same result rows as `rcjjoin` CSV output:
+//	curl -sN localhost:8080/join -d '{"p":"restaurants","q":"residences","format":"csv"}'
+//
+//	curl -s localhost:8080/indexes     # registry
+//	curl -s localhost:8080/metrics     # counters: in-flight, queued, rejected, ...
+//	curl -s localhost:8080/healthz     # 200 serving / 503 draining
+//
+// Requests beyond -max-concurrent wait in a FIFO queue of depth -max-queue
+// (429 once full; 429 after -queue-timeout in queue); each admitted join is
+// capped by -join-timeout. SIGTERM/SIGINT drains gracefully: new joins get
+// 503 while in-flight and queued streams run to completion, bounded by
+// -drain-timeout.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/rcj"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		backend       = flag.String("backend", "mem", "pager backend for saved indexes: mem, file, or mmap")
+		bufPages      = flag.Int("buffer", 4096, "shared buffer pool size in pages (0 = unbounded)")
+		bufShards     = flag.Int("buffer-shards", 0, "buffer LRU shards (0 = auto from GOMAXPROCS)")
+		maxConcurrent = flag.Int("max-concurrent", 2, "joins running simultaneously")
+		maxQueue      = flag.Int("max-queue", 16, "admission queue depth beyond running joins (0 = no queue)")
+		queueTimeout  = flag.Duration("queue-timeout", 5*time.Second, "max wait in the admission queue (0 = unbounded)")
+		joinTimeout   = flag.Duration("join-timeout", 0, "per-request join deadline (0 = none)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight joins on shutdown")
+	)
+	indexes := map[string]string{}
+	flag.Func("index", "saved index to serve, as name=path.rcjx (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		if _, dup := indexes[name]; dup {
+			return fmt.Errorf("duplicate index name %q", name)
+		}
+		indexes[name] = path
+		return nil
+	})
+	flag.Parse()
+
+	if len(indexes) == 0 {
+		fmt.Fprintln(os.Stderr, "rcjd: at least one -index name=path.rcjx is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	be, err := rcj.ParseBackend(*backend)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err = server.RunDaemon(ctx, server.DaemonConfig{
+		Addr:         *addr,
+		Indexes:      indexes,
+		Backend:      be,
+		BufferPages:  *bufPages,
+		BufferShards: *bufShards,
+		Sched: sched.Config{
+			MaxConcurrent: *maxConcurrent,
+			MaxQueue:      *maxQueue,
+			QueueTimeout:  *queueTimeout,
+			JoinTimeout:   *joinTimeout,
+		},
+		DrainTimeout: *drainTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}, nil)
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rcjd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -54,6 +54,7 @@ func main() {
 		saveP    = flag.String("save-index-p", "", "after building P's index, save it to this file (skip the build next run by passing it as -p)")
 		saveQ    = flag.String("save-index-q", "", "after building Q's index, save it to this file")
 		backend  = flag.String("backend", "file", "pager backend for saved-index inputs: mem, file, or mmap")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 	)
 	flag.Parse()
 
@@ -77,6 +78,13 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		// A deadline so batch runs against huge inputs fail cleanly instead
+		// of hanging forever; the join aborts mid-leaf like a Ctrl-C would.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	eng := rcj.NewEngine(rcj.EngineConfig{BufferPages: *bufPages})
 	loadIndex := func(path, save string) *rcj.Index {
@@ -109,6 +117,9 @@ func main() {
 				pairs, stats, err = eng.JoinCollect(ctx, ixQ, ixP, opts)
 			}
 			if err != nil {
+				if errors.Is(err, context.DeadlineExceeded) {
+					fatalf("join timed out after %v", *timeout)
+				}
 				fatalf("join: %v", err)
 			}
 			for _, pr := range pairs {
@@ -138,6 +149,9 @@ func main() {
 				if errors.Is(err, context.Canceled) {
 					fatalf("join cancelled after %d pairs", results)
 				}
+				if errors.Is(err, context.DeadlineExceeded) {
+					fatalf("join timed out after %v (%d pairs streamed)", *timeout, results)
+				}
 				fatalf("join: %v", err)
 			}
 			writePair(cw, pr.P.ID, pr.Q.ID, pr.Center.X, pr.Center.Y, pr.Radius)
@@ -161,6 +175,9 @@ func main() {
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				fatalf("join cancelled")
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				fatalf("join timed out after %v", *timeout)
 			}
 			fatalf("join: %v", err)
 		}

@@ -22,6 +22,7 @@ import (
 	"container/list"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/storage"
 )
@@ -59,6 +60,33 @@ func (s *Stats) add(o Stats) {
 	s.Hits += o.Hits
 	s.Misses += o.Misses
 	s.Evictions += o.Evictions
+}
+
+// TagStats attributes buffer accesses to one logical request (typically one
+// join) running over a shared pool. Every access made through GetTagged with
+// a given tag is mirrored into that tag's counters with atomic adds, so a
+// request's hit/miss accounting is exact even while any number of other
+// requests — tagged or not — hammer the same shards concurrently. This is
+// what makes per-request buffer hit rates reportable from a serving daemon:
+// shard counters aggregate the whole pool; tags carve out one request's
+// share without approximation.
+//
+// The zero value is ready to use. A TagStats must not be reused across
+// requests whose counts should stay separate.
+type TagStats struct {
+	accesses atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+// Stats returns a snapshot of the tag's counters. Evictions are a pool-wide
+// phenomenon and are not attributable to one request; the field is always 0.
+func (t *TagStats) Stats() Stats {
+	return Stats{
+		Accesses: t.accesses.Load(),
+		Hits:     t.hits.Load(),
+		Misses:   t.misses.Load(),
+	}
 }
 
 type entry struct {
@@ -211,6 +239,14 @@ func (p *Pool) Len() int {
 // it on a miss. The loaded value is cached (unless the shard's capacity is
 // zero) and the access is counted either way.
 func (p *Pool) Get(k Key, load func() (any, error)) (any, error) {
+	return p.GetTagged(k, nil, load)
+}
+
+// GetTagged is Get with per-request attribution: when tag is non-nil the
+// access is counted both in the shard's aggregate stats and in tag, with the
+// same hit/miss classification, so summing all tags plus untagged accesses
+// reproduces Pool.Stats exactly.
+func (p *Pool) GetTagged(k Key, tag *TagStats, load func() (any, error)) (any, error) {
 	s := p.shardFor(k)
 	s.mu.Lock()
 	s.stats.Accesses++
@@ -219,10 +255,18 @@ func (p *Pool) Get(k Key, load func() (any, error)) (any, error) {
 		s.ll.MoveToFront(el)
 		v := el.Value.(*entry).value
 		s.mu.Unlock()
+		if tag != nil {
+			tag.accesses.Add(1)
+			tag.hits.Add(1)
+		}
 		return v, nil
 	}
 	s.stats.Misses++
 	s.mu.Unlock()
+	if tag != nil {
+		tag.accesses.Add(1)
+		tag.misses.Add(1)
+	}
 
 	// Load outside the lock: loads hit the pager, which has its own locking,
 	// and may be slow for file-backed pagers.

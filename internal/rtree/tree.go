@@ -70,6 +70,8 @@ type Tree struct {
 	size   int // number of indexed points
 
 	pageBuf []byte // scratch page for encoding
+
+	tag *buffer.TagStats // per-request attribution for reads; nil on the base tree
 }
 
 // ErrEmptyTree is returned by operations that need at least one point.
@@ -178,10 +180,22 @@ func (t *Tree) LeafCap() int { return t.maxLeaf }
 // InternalCap returns the internal-node entry capacity.
 func (t *Tree) InternalCap() int { return t.maxChild }
 
+// Tagged returns a read-only view of the tree whose node reads are
+// additionally attributed to tag (see buffer.TagStats): same pages, same
+// pool, exact per-request hit/miss accounting under concurrency. The view
+// shares all immutable state with t and is safe for concurrent reads
+// alongside t and any other views; it must not be used to mutate the tree.
+func (t *Tree) Tagged(tag *buffer.TagStats) *Tree {
+	view := *t
+	view.tag = tag
+	view.pageBuf = nil // views are read-only; don't alias the write scratch page
+	return &view
+}
+
 // ReadNode fetches the node stored at page id, consulting the buffer pool
 // first. Misses are page faults.
 func (t *Tree) ReadNode(id storage.PageID) (*Node, error) {
-	v, err := t.pool.Get(buffer.Key{Owner: t.cfg.Owner, Page: id}, func() (any, error) {
+	v, err := t.pool.GetTagged(buffer.Key{Owner: t.cfg.Owner, Page: id}, t.tag, func() (any, error) {
 		buf := make([]byte, t.cfg.PageSize)
 		if err := t.pager.ReadPage(id, buf); err != nil {
 			return nil, err

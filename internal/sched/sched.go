@@ -1,0 +1,396 @@
+// Package sched is the join scheduler of the serving layer: it wraps a
+// long-lived rcj.Engine with the admission control a daemon needs to survive
+// heavy traffic. At most MaxConcurrent joins run at once; up to MaxQueue
+// further requests wait in strict FIFO order; everything beyond that is
+// rejected immediately with ErrOverloaded, so an overloaded server sheds
+// load in O(1) instead of accumulating goroutines. Waiters abandon the
+// queue when their context ends or QueueTimeout elapses (ErrQueueTimeout),
+// admitted joins run under an optional per-request deadline (JoinTimeout),
+// and cancelling a request's context propagates promptly into the join
+// executor, freeing the slot within a leaf or two.
+//
+// A scheduler drains gracefully: BeginDrain stops admitting new requests
+// (ErrDraining) while already-admitted work — running and queued — streams
+// to completion; Drain additionally waits for the last slot to free. This
+// is the SIGTERM path of cmd/rcjd.
+//
+// Per-request statistics ride on the engine's tagged buffer attribution
+// (rcj.JoinOptions.Stats): each admitted join reports its exact node
+// accesses, page faults, and buffer hit rate even while other joins hammer
+// the same pool, and the scheduler aggregates them into a Snapshot for the
+// /metrics endpoint.
+package sched
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"iter"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/rcj"
+)
+
+// Typed admission-control rejections. Servers map these to backpressure
+// status codes (429 for overload/timeout, 503 for draining).
+var (
+	// ErrOverloaded is returned when all join slots are busy and the FIFO
+	// queue is at capacity: the request was rejected without waiting.
+	ErrOverloaded = errors.New("sched: overloaded: join queue is full")
+	// ErrQueueTimeout is returned when a request waited QueueTimeout in the
+	// admission queue without a slot freeing up.
+	ErrQueueTimeout = errors.New("sched: timed out waiting for a join slot")
+	// ErrDraining is returned once BeginDrain/Drain has been called: the
+	// scheduler is shutting down and admits no new requests.
+	ErrDraining = errors.New("sched: draining, not accepting new joins")
+)
+
+// Config sizes a Scheduler. The zero value of a field selects its default.
+type Config struct {
+	// MaxConcurrent is the number of joins allowed to run simultaneously
+	// (default 1).
+	MaxConcurrent int
+	// MaxQueue bounds how many admitted-but-waiting requests may queue
+	// beyond the running ones; 0 means no queue — a request either gets a
+	// slot immediately or is rejected with ErrOverloaded. Negative means an
+	// unbounded queue (not recommended for serving).
+	MaxQueue int
+	// QueueTimeout bounds how long one request may wait in the queue before
+	// being rejected with ErrQueueTimeout; 0 means wait as long as the
+	// request's context allows.
+	QueueTimeout time.Duration
+	// JoinTimeout is the per-request execution deadline applied to each
+	// admitted join (queue wait excluded); 0 means none.
+	JoinTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 1
+	}
+	return c
+}
+
+// waiter is one queued admission request. grant removes it from the queue
+// (el = nil) before closing ready, so a waiter that finds itself off the
+// queue when abandoning knows it owns a slot and must release it.
+type waiter struct {
+	ready chan struct{}
+	el    *list.Element
+}
+
+// Snapshot is a point-in-time view of the scheduler's counters, the payload
+// of the daemon's /metrics endpoint. Gauge fields (InFlight, Queued) are
+// instantaneous; the rest are cumulative since construction.
+type Snapshot struct {
+	InFlight int  `json:"in_flight"`
+	Queued   int  `json:"queued"`
+	Draining bool `json:"draining"`
+
+	Admitted             int64 `json:"admitted"`
+	Completed            int64 `json:"completed"`
+	Failed               int64 `json:"failed"`
+	RejectedOverload     int64 `json:"rejected_overload"`
+	RejectedQueueTimeout int64 `json:"rejected_queue_timeout"`
+	RejectedDraining     int64 `json:"rejected_draining"`
+
+	PairsEmitted int64 `json:"pairs_emitted"`
+
+	// Exact tagged buffer attribution summed over completed serving joins.
+	BufferAccesses int64 `json:"buffer_accesses"`
+	BufferHits     int64 `json:"buffer_hits"`
+	BufferMisses   int64 `json:"buffer_misses"`
+}
+
+// BufferHitRatio returns the aggregate buffer hit rate over served joins.
+func (s Snapshot) BufferHitRatio() float64 {
+	if s.BufferAccesses == 0 {
+		return 0
+	}
+	return float64(s.BufferHits) / float64(s.BufferAccesses)
+}
+
+// Scheduler wraps an Engine with bounded-concurrency admission control.
+// All methods are safe for concurrent use.
+type Scheduler struct {
+	eng *rcj.Engine
+	cfg Config
+
+	mu       sync.Mutex
+	running  int
+	queue    *list.List // of *waiter, front = next to be granted
+	draining bool
+	drained  chan struct{} // closed when draining and the last slot frees
+	closed   bool          // drained has been closed
+
+	admitted             atomic.Int64
+	completed            atomic.Int64
+	failed               atomic.Int64
+	rejectedOverload     atomic.Int64
+	rejectedQueueTimeout atomic.Int64
+	rejectedDraining     atomic.Int64
+	pairsEmitted         atomic.Int64
+	bufAccesses          atomic.Int64
+	bufHits              atomic.Int64
+	bufMisses            atomic.Int64
+}
+
+// New returns a scheduler admitting joins into eng under cfg's bounds.
+func New(eng *rcj.Engine, cfg Config) *Scheduler {
+	return &Scheduler{
+		eng:     eng,
+		cfg:     cfg.withDefaults(),
+		queue:   list.New(),
+		drained: make(chan struct{}),
+	}
+}
+
+// Engine returns the engine the scheduler admits joins into.
+func (s *Scheduler) Engine() *rcj.Engine { return s.eng }
+
+// Config returns the scheduler's effective (defaulted) configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Acquire blocks until the caller owns a join slot, the context ends, or
+// admission control rejects the request (ErrOverloaded, ErrQueueTimeout,
+// ErrDraining). On success the returned release function must be called
+// exactly once when the work is done; it is idempotent. Acquire is exported
+// for callers scheduling non-Join work (e.g. L1 joins) under the same
+// admission bounds.
+func (s *Scheduler) Acquire(ctx context.Context) (release func(), err error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rejectedDraining.Add(1)
+		return nil, ErrDraining
+	}
+	if err := ctx.Err(); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	if s.running < s.cfg.MaxConcurrent {
+		s.running++
+		s.mu.Unlock()
+		s.admitted.Add(1)
+		return s.releaseOnce(), nil
+	}
+	if s.cfg.MaxQueue >= 0 && s.queue.Len() >= s.cfg.MaxQueue {
+		s.mu.Unlock()
+		s.rejectedOverload.Add(1)
+		return nil, ErrOverloaded
+	}
+	w := &waiter{ready: make(chan struct{})}
+	w.el = s.queue.PushBack(w)
+	s.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if s.cfg.QueueTimeout > 0 {
+		t := time.NewTimer(s.cfg.QueueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-w.ready:
+		s.admitted.Add(1)
+		return s.releaseOnce(), nil
+	case <-ctx.Done():
+		if s.abandon(w) {
+			return nil, ctx.Err()
+		}
+		// Granted concurrently with the cancellation: we own a slot we will
+		// never use — hand it back before reporting the error.
+		s.release()
+		return nil, ctx.Err()
+	case <-timeout:
+		if s.abandon(w) {
+			s.rejectedQueueTimeout.Add(1)
+			return nil, ErrQueueTimeout
+		}
+		s.release()
+		s.rejectedQueueTimeout.Add(1)
+		return nil, ErrQueueTimeout
+	}
+}
+
+// abandon removes w from the queue, reporting false if w was already
+// granted a slot (and is therefore no longer queued).
+func (s *Scheduler) abandon(w *waiter) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w.el == nil {
+		return false
+	}
+	s.queue.Remove(w.el)
+	w.el = nil
+	return true
+}
+
+// releaseOnce wraps release for hand-out: callers may be sloppy about
+// double-invoking it on error paths without corrupting the slot count.
+func (s *Scheduler) releaseOnce() func() {
+	var once sync.Once
+	return func() { once.Do(s.release) }
+}
+
+// release frees one slot: the queue head inherits it (FIFO), otherwise the
+// running count drops; the last release during a drain closes drained.
+// Queued waiters were admitted before the drain began, so a drain lets them
+// run rather than rejecting work the server already accepted.
+func (s *Scheduler) release() {
+	s.mu.Lock()
+	if el := s.queue.Front(); el != nil {
+		w := el.Value.(*waiter)
+		s.queue.Remove(el)
+		w.el = nil
+		close(w.ready) // slot transfers; running count is unchanged
+		s.mu.Unlock()
+		return
+	}
+	s.running--
+	if s.draining && s.running == 0 && !s.closed {
+		s.closed = true
+		close(s.drained)
+	}
+	s.mu.Unlock()
+}
+
+// BeginDrain stops admitting new requests (they fail with ErrDraining).
+// Running and already-queued joins proceed to completion. Safe to call more
+// than once.
+func (s *Scheduler) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	if s.running == 0 && s.queue.Len() == 0 && !s.closed {
+		s.closed = true
+		close(s.drained)
+	}
+	s.mu.Unlock()
+}
+
+// Drain begins draining (if not already) and blocks until every admitted
+// join has finished or ctx ends, returning ctx.Err() in the latter case.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether BeginDrain/Drain has been called.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Join admits a streaming join: it blocks in admission control (so typed
+// rejections surface before any result bytes are produced), then returns a
+// single-use iterator streaming the pairs exactly as rcj.Engine.Join would.
+// The slot is held until the iterator terminates — completion, error, or
+// the consumer breaking out — and is released automatically then; callers
+// must consume (or at least begin and break out of) the iterator. When
+// stats is non-nil it receives the join's exact per-request statistics once
+// the iterator has terminated.
+func (s *Scheduler) Join(ctx context.Context, q, p *rcj.Index, opts rcj.JoinOptions, stats *rcj.Stats) (iter.Seq2[rcj.Pair, error], error) {
+	return s.admit(ctx, stats, func(jctx context.Context, st *rcj.Stats) iter.Seq2[rcj.Pair, error] {
+		o := opts
+		o.Stats = st
+		return s.eng.Join(jctx, q, p, o)
+	})
+}
+
+// SelfJoin is Join for the self-join of one index.
+func (s *Scheduler) SelfJoin(ctx context.Context, ix *rcj.Index, opts rcj.JoinOptions, stats *rcj.Stats) (iter.Seq2[rcj.Pair, error], error) {
+	return s.admit(ctx, stats, func(jctx context.Context, st *rcj.Stats) iter.Seq2[rcj.Pair, error] {
+		o := opts
+		o.Stats = st
+		return s.eng.SelfJoin(jctx, ix, o)
+	})
+}
+
+// JoinCollect is the materializing convenience over Join, for callers that
+// do not stream (batch tools, tests).
+func (s *Scheduler) JoinCollect(ctx context.Context, q, p *rcj.Index, opts rcj.JoinOptions) ([]rcj.Pair, rcj.Stats, error) {
+	var st rcj.Stats
+	seq, err := s.Join(ctx, q, p, opts, &st)
+	if err != nil {
+		return nil, rcj.Stats{}, err
+	}
+	pairs, err := rcj.Collect(seq)
+	if err != nil {
+		return nil, st, err
+	}
+	return pairs, st, nil
+}
+
+// admit runs the admission pipeline around one streaming join: acquire a
+// slot, apply the per-request deadline, stream, account, release.
+func (s *Scheduler) admit(ctx context.Context, stats *rcj.Stats, mk func(context.Context, *rcj.Stats) iter.Seq2[rcj.Pair, error]) (iter.Seq2[rcj.Pair, error], error) {
+	release, err := s.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return func(yield func(rcj.Pair, error) bool) {
+		defer release()
+		jctx := ctx
+		cancel := context.CancelFunc(func() {})
+		if s.cfg.JoinTimeout > 0 {
+			jctx, cancel = context.WithTimeout(ctx, s.cfg.JoinTimeout)
+		}
+		defer cancel()
+
+		var st rcj.Stats
+		var pairs int64
+		var failed bool
+		for pr, err := range mk(jctx, &st) {
+			if err != nil {
+				failed = true
+				yield(pr, err)
+				break
+			}
+			pairs++
+			if !yield(pr, nil) {
+				break
+			}
+		}
+		s.pairsEmitted.Add(pairs)
+		s.bufAccesses.Add(st.NodeAccesses)
+		s.bufHits.Add(st.NodeAccesses - st.PageFaults)
+		s.bufMisses.Add(st.PageFaults)
+		if failed {
+			s.failed.Add(1)
+		} else {
+			s.completed.Add(1)
+		}
+		if stats != nil {
+			*stats = st
+		}
+	}, nil
+}
+
+// Snapshot returns the scheduler's current counters.
+func (s *Scheduler) Snapshot() Snapshot {
+	s.mu.Lock()
+	snap := Snapshot{
+		InFlight: s.running,
+		Queued:   s.queue.Len(),
+		Draining: s.draining,
+	}
+	s.mu.Unlock()
+	snap.Admitted = s.admitted.Load()
+	snap.Completed = s.completed.Load()
+	snap.Failed = s.failed.Load()
+	snap.RejectedOverload = s.rejectedOverload.Load()
+	snap.RejectedQueueTimeout = s.rejectedQueueTimeout.Load()
+	snap.RejectedDraining = s.rejectedDraining.Load()
+	snap.PairsEmitted = s.pairsEmitted.Load()
+	snap.BufferAccesses = s.bufAccesses.Load()
+	snap.BufferHits = s.bufHits.Load()
+	snap.BufferMisses = s.bufMisses.Load()
+	return snap
+}

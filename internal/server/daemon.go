@@ -1,0 +1,136 @@
+// Daemon assembly: everything cmd/rcjd does apart from flag parsing lives
+// here so the SIGTERM drain path is exercisable by in-process tests.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/sched"
+	"repro/rcj"
+)
+
+// DaemonConfig is the full configuration of one rcjd process.
+type DaemonConfig struct {
+	// Addr is the listen address (e.g. ":8080", "127.0.0.1:0").
+	Addr string
+	// Indexes maps registry names to saved .rcjx paths, all loaded before
+	// the listener accepts traffic.
+	Indexes map[string]string
+	// Backend is the pager substrate for the loaded indexes.
+	Backend rcj.Backend
+	// BufferPages / BufferShards size the engine's shared pool
+	// (rcj.EngineConfig semantics).
+	BufferPages  int
+	BufferShards int
+	// Sched bounds admission: concurrent joins, queue depth, queue wait,
+	// per-join deadline (sched.Config semantics).
+	Sched sched.Config
+	// DrainTimeout caps how long shutdown waits for in-flight joins after
+	// the stop signal; 0 means 30s.
+	DrainTimeout time.Duration
+	// Logf, when non-nil, receives daemon lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// RunDaemon builds the engine/scheduler/server stack from cfg, loads every
+// configured index, serves HTTP on cfg.Addr, and blocks until ctx is
+// cancelled (the signal path), then drains: new joins are rejected with 503
+// while in-flight and queued joins stream to completion, bounded by
+// DrainTimeout. ready, when non-nil, is called with the bound address once
+// the listener accepts traffic.
+func RunDaemon(ctx context.Context, cfg DaemonConfig, ready func(addr string)) error {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	drainTimeout := cfg.DrainTimeout
+	if drainTimeout <= 0 {
+		drainTimeout = 30 * time.Second
+	}
+
+	eng := rcj.NewEngine(rcj.EngineConfig{BufferPages: cfg.BufferPages, BufferShards: cfg.BufferShards})
+	sch := sched.New(eng, cfg.Sched)
+	srv := New(sch, Config{Backend: cfg.Backend})
+	// Indexes are closed on exit unless a join may still be running:
+	// closing an mmap-backed index unmaps pages a still-wedged join could
+	// be reading, so an incomplete drain leaks them instead (the process
+	// is exiting anyway).
+	leakIndexes := false
+	defer func() {
+		if !leakIndexes {
+			srv.Close()
+		}
+	}()
+
+	// Deterministic load order so startup logs are reproducible.
+	names := make([]string, 0, len(cfg.Indexes))
+	for name := range cfg.Indexes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := cfg.Indexes[name]
+		if err := srv.LoadIndex(name, path); err != nil {
+			return fmt.Errorf("load index %s=%s: %w", name, path, err)
+		}
+		e, _ := srv.lookup(name)
+		logf("rcjd: loaded index %s (%d points, %s backend) from %s", name, e.ix.Len(), cfg.Backend, path)
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	logf("rcjd: serving on %s (maxConcurrent=%d maxQueue=%d)",
+		ln.Addr(), sch.Config().MaxConcurrent, sch.Config().MaxQueue)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener died under us; handlers (and their joins) may still
+		// be running, so the indexes must outlive this return.
+		leakIndexes = true
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain. Order matters: first stop admitting joins (so queued
+	// handlers fail fast with 503 and /healthz flips), then let the HTTP
+	// server wait for in-flight handlers — each of which holds a streaming
+	// join — to finish, bounded by the drain timeout.
+	logf("rcjd: shutdown signal received, draining (timeout %s)", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	sch.BeginDrain()
+	shutdownErr := httpSrv.Shutdown(drainCtx)
+	waitCtx := drainCtx
+	if shutdownErr != nil {
+		// Timed out: cut the remaining streams, whose cancelled contexts
+		// abort their joins; give the slots a short grace to unwind.
+		httpSrv.Close()
+		var cancelWait context.CancelFunc
+		waitCtx, cancelWait = context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancelWait()
+	}
+	if err := sch.Drain(waitCtx); err != nil {
+		leakIndexes = true
+		return fmt.Errorf("rcjd: drain incomplete: %w", errors.Join(shutdownErr, err))
+	}
+	if shutdownErr != nil {
+		return fmt.Errorf("rcjd: shutdown: %w", shutdownErr)
+	}
+	logf("rcjd: drained, exiting")
+	return nil
+}

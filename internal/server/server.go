@@ -1,0 +1,427 @@
+// Package server is the HTTP serving layer of the ring-constrained join
+// system: a stdlib-only net/http front end over the sched.Scheduler and a
+// registry of saved `.rcjx` indexes opened through rcj.Engine.OpenIndex.
+// It is what cmd/rcjd runs.
+//
+// Endpoints:
+//
+//	POST /join     stream a join as NDJSON (or CSV), one line per confirmed
+//	               pair, flushed as the executor emits them; a final summary
+//	               line carries the request's exact statistics. Admission-
+//	               control rejections surface as 429 (overloaded, queue
+//	               timeout) or 503 (draining) before any result bytes.
+//	GET  /indexes  list the loaded indexes.
+//	POST /indexes  load a saved index file: {"name": ..., "path": ...}.
+//	GET  /healthz  200 while serving, 503 once draining.
+//	GET  /metrics  expvar-style JSON counters: scheduler snapshot (in-flight,
+//	               queued, rejected, pairs emitted, per-request-exact buffer
+//	               attribution) plus the engine's pool-wide stats.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"iter"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+	"repro/rcj"
+)
+
+// ErrIndexExists is returned by LoadIndex when the name is already taken.
+var ErrIndexExists = errors.New("server: index name already loaded")
+
+// Config assembles a Server.
+type Config struct {
+	// Backend is the pager substrate indexes are opened with (default
+	// BackendMem; see rcj.IndexConfig.Backend).
+	Backend rcj.Backend
+}
+
+// Server routes HTTP requests into a join scheduler and an index registry.
+// Create with New, mount via Handler.
+type Server struct {
+	sched   *sched.Scheduler
+	backend rcj.Backend
+
+	mu      sync.RWMutex
+	indexes map[string]*indexEntry
+
+	requests atomic64map
+}
+
+// indexEntry is one registered index and how it was loaded.
+type indexEntry struct {
+	ix      *rcj.Index
+	path    string
+	backend rcj.Backend
+}
+
+// atomic64map is a tiny fixed-key counter set for per-endpoint request
+// totals; expvar-style without expvar's process-global registry (tests run
+// many Servers in one process).
+type atomic64map struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func (a *atomic64map) inc(k string) {
+	a.mu.Lock()
+	if a.m == nil {
+		a.m = make(map[string]int64)
+	}
+	a.m[k]++
+	a.mu.Unlock()
+}
+
+func (a *atomic64map) snapshot() map[string]int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int64, len(a.m))
+	for k, v := range a.m {
+		out[k] = v
+	}
+	return out
+}
+
+// New returns a server admitting joins through sch, opening indexes with
+// cfg.Backend.
+func New(sch *sched.Scheduler, cfg Config) *Server {
+	return &Server{
+		sched:   sch,
+		backend: cfg.Backend,
+		indexes: make(map[string]*indexEntry),
+	}
+}
+
+// Scheduler returns the server's join scheduler.
+func (s *Server) Scheduler() *sched.Scheduler { return s.sched }
+
+// LoadIndex opens the saved index at path through the engine (shared buffer
+// pool, O(1) reattach) and registers it under name. Loading a name twice is
+// an error; indexes are immutable while registered.
+func (s *Server) LoadIndex(name, path string) error {
+	if name == "" {
+		return errors.New("server: index name must not be empty")
+	}
+	s.mu.RLock()
+	_, dup := s.indexes[name]
+	s.mu.RUnlock()
+	if dup {
+		return fmt.Errorf("%w: %q", ErrIndexExists, name)
+	}
+	// Open outside the lock: a mem-backend load reads the whole page image,
+	// and in-flight /join lookups must not stall behind an admin load.
+	ix, err := s.sched.Engine().OpenIndex(path, rcj.IndexConfig{Backend: s.backend})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if _, ok := s.indexes[name]; ok {
+		s.mu.Unlock()
+		ix.Close()
+		return fmt.Errorf("%w: %q", ErrIndexExists, name)
+	}
+	s.indexes[name] = &indexEntry{ix: ix, path: path, backend: s.backend}
+	s.mu.Unlock()
+	return nil
+}
+
+// lookup returns the registered index for name.
+func (s *Server) lookup(name string) (*indexEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.indexes[name]
+	return e, ok
+}
+
+// Close closes every registered index.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for name, e := range s.indexes {
+		if err := e.ix.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.indexes, name)
+	}
+	return first
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /join", s.handleJoin)
+	mux.HandleFunc("GET /indexes", s.handleListIndexes)
+	mux.HandleFunc("POST /indexes", s.handleLoadIndex)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// errorJSON is the uniform error payload.
+func errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.requests.inc("healthz")
+	if s.sched.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// indexInfo is one row of GET /indexes.
+type indexInfo struct {
+	Name    string `json:"name"`
+	Points  int    `json:"points"`
+	Path    string `json:"path"`
+	Backend string `json:"backend"`
+}
+
+func (s *Server) handleListIndexes(w http.ResponseWriter, r *http.Request) {
+	s.requests.inc("indexes")
+	s.mu.RLock()
+	out := make([]indexInfo, 0, len(s.indexes))
+	for name, e := range s.indexes {
+		out = append(out, indexInfo{Name: name, Points: e.ix.Len(), Path: e.path, Backend: e.backend.String()})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// loadRequest is the POST /indexes payload.
+type loadRequest struct {
+	Name string `json:"name"`
+	Path string `json:"path"`
+}
+
+func (s *Server) handleLoadIndex(w http.ResponseWriter, r *http.Request) {
+	s.requests.inc("indexes_load")
+	var req loadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Name == "" || req.Path == "" {
+		errorJSON(w, http.StatusBadRequest, "name and path are required")
+		return
+	}
+	if err := s.LoadIndex(req.Name, req.Path); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrIndexExists) {
+			status = http.StatusConflict
+		}
+		errorJSON(w, status, "%v", err)
+		return
+	}
+	e, _ := s.lookup(req.Name)
+	writeJSON(w, http.StatusCreated, indexInfo{Name: req.Name, Points: e.ix.Len(), Path: req.Path, Backend: e.backend.String()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.requests.inc("metrics")
+	snap := s.sched.Snapshot()
+	pool := s.sched.Engine().BufferStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sched":                  snap,
+		"sched_buffer_hit_ratio": snap.BufferHitRatio(),
+		"pool": map[string]any{
+			"accesses":  pool.Accesses,
+			"hits":      pool.Hits,
+			"misses":    pool.Misses,
+			"evictions": pool.Evictions,
+			"hit_ratio": pool.HitRatio(),
+			"shards":    s.sched.Engine().BufferShards(),
+		},
+		"requests": s.requests.snapshot(),
+	})
+}
+
+// joinRequest is the POST /join payload. Exactly one of {"q"} or
+// {"self": true} selects a two-set or self join; "p" is always required.
+type joinRequest struct {
+	P           string `json:"p"`
+	Q           string `json:"q"`
+	Self        bool   `json:"self"`
+	Alg         string `json:"alg"`         // "inj", "bij", "obj" (default)
+	Parallelism int    `json:"parallelism"` // worker goroutines, default 1
+	TimeoutMS   int64  `json:"timeout_ms"`  // per-request cap under the server's JoinTimeout
+	Format      string `json:"format"`      // "ndjson" (default) or "csv"
+}
+
+// pairLine is one NDJSON result row.
+type pairLine struct {
+	PID    int64   `json:"p_id"`
+	QID    int64   `json:"q_id"`
+	CX     float64 `json:"cx"`
+	CY     float64 `json:"cy"`
+	Radius float64 `json:"r"`
+}
+
+// summaryLine terminates a successful NDJSON stream: the request's exact
+// statistics, attributed to it alone even under concurrent joins.
+type summaryLine struct {
+	Results      int64   `json:"results"`
+	Candidates   int64   `json:"candidates"`
+	NodeAccesses int64   `json:"node_accesses"`
+	PageFaults   int64   `json:"page_faults"`
+	BufferHit    float64 `json:"buffer_hit_ratio"`
+	ElapsedMS    int64   `json:"elapsed_ms"`
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	s.requests.inc("join")
+	var req joinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.P == "" {
+		errorJSON(w, http.StatusBadRequest, "p is required")
+		return
+	}
+	if req.Self == (req.Q != "") {
+		errorJSON(w, http.StatusBadRequest, `exactly one of "q" or "self" is required`)
+		return
+	}
+	alg, ok := map[string]rcj.Algorithm{"": rcj.OBJ, "obj": rcj.OBJ, "bij": rcj.BIJ, "inj": rcj.INJ}[req.Alg]
+	if !ok {
+		errorJSON(w, http.StatusBadRequest, "unknown algorithm %q (want inj, bij, or obj)", req.Alg)
+		return
+	}
+	csvFormat := false
+	switch req.Format {
+	case "", "ndjson":
+	case "csv":
+		csvFormat = true
+	default:
+		errorJSON(w, http.StatusBadRequest, "unknown format %q (want ndjson or csv)", req.Format)
+		return
+	}
+	if req.Parallelism < 0 {
+		errorJSON(w, http.StatusBadRequest, "parallelism must be >= 0")
+		return
+	}
+	// Clamp worker fan-out server-side: admission control bounds *joins*, so
+	// one request must not multiply itself past the hardware underneath.
+	if maxPar := runtime.GOMAXPROCS(0); req.Parallelism > maxPar {
+		req.Parallelism = maxPar
+	}
+	ixP, ok := s.lookup(req.P)
+	if !ok {
+		errorJSON(w, http.StatusNotFound, "unknown index %q", req.P)
+		return
+	}
+	var ixQ *indexEntry
+	if !req.Self {
+		if ixQ, ok = s.lookup(req.Q); !ok {
+			errorJSON(w, http.StatusNotFound, "unknown index %q", req.Q)
+			return
+		}
+	}
+
+	// The request context cancels when the client disconnects; that
+	// propagates through the scheduler into the executor, aborting the join
+	// and freeing its slot. An additional per-request cap stacks under the
+	// scheduler's JoinTimeout.
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	opts := rcj.JoinOptions{Algorithm: alg, ForceAlgorithm: true, Parallelism: req.Parallelism}
+	var st rcj.Stats
+	var seq iter.Seq2[rcj.Pair, error]
+	var err error
+	if req.Self {
+		seq, err = s.sched.SelfJoin(ctx, ixP.ix, opts, &st)
+	} else {
+		seq, err = s.sched.Join(ctx, ixQ.ix, ixP.ix, opts, &st)
+	}
+	if err != nil {
+		s.writeAdmissionError(w, err)
+		return
+	}
+
+	start := time.Now()
+	if csvFormat {
+		w.Header().Set("Content-Type", "text/csv")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	for pr, err := range seq {
+		if err != nil {
+			// The status line is gone; report the failure in-band and stop.
+			// (CSV streams simply truncate — the client sees the closed body.)
+			if !csvFormat {
+				enc.Encode(map[string]string{"error": err.Error()})
+			}
+			flush()
+			return
+		}
+		if csvFormat {
+			fmt.Fprintf(w, "%d,%d,%s,%s,%s\n", pr.P.ID, pr.Q.ID,
+				strconv.FormatFloat(pr.Center.X, 'f', 6, 64),
+				strconv.FormatFloat(pr.Center.Y, 'f', 6, 64),
+				strconv.FormatFloat(pr.Radius, 'f', 6, 64))
+		} else {
+			enc.Encode(pairLine{PID: pr.P.ID, QID: pr.Q.ID, CX: pr.Center.X, CY: pr.Center.Y, Radius: pr.Radius})
+		}
+		flush()
+	}
+	if !csvFormat {
+		enc.Encode(map[string]summaryLine{"summary": {
+			Results:      st.Results,
+			Candidates:   st.Candidates,
+			NodeAccesses: st.NodeAccesses,
+			PageFaults:   st.PageFaults,
+			BufferHit:    st.BufferHitRatio(),
+			ElapsedMS:    time.Since(start).Milliseconds(),
+		}})
+	}
+	flush()
+}
+
+// writeAdmissionError maps scheduler rejections to backpressure statuses:
+// 429 for overload and queue timeout (retryable), 503 while draining.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, sched.ErrOverloaded), errors.Is(err, sched.ErrQueueTimeout):
+		w.Header().Set("Retry-After", "1")
+		errorJSON(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, sched.ErrDraining):
+		errorJSON(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		errorJSON(w, http.StatusInternalServerError, "%v", err)
+	}
+}

@@ -110,8 +110,9 @@ func (e *Engine) SelfJoin(ctx context.Context, ix *Index, opts JoinOptions) iter
 // JoinCollect is the materializing convenience wrapper around Join,
 // preserving the signature of the package-level rcj.Join: it runs the join
 // to completion under ctx and returns all pairs plus run statistics. The
-// buffer counters in Stats are deltas over the shared pool, so they
-// attribute exactly only when no other join runs concurrently.
+// buffer counters in Stats are attributed to this join exactly via
+// per-request access tagging, even while other joins run concurrently on
+// the shared pool.
 func (e *Engine) JoinCollect(ctx context.Context, q, p *Index, opts JoinOptions) ([]Pair, Stats, error) {
 	return runJoin(ctx, q, p, opts, false)
 }
@@ -140,7 +141,8 @@ func Collect(seq iter.Seq2[Pair, error]) ([]Pair, error) {
 // joinSeq runs the join in a producer goroutine bridged to the consumer
 // through stream.Seq2, so parallel joins (whose workers emit concurrently)
 // and sequential joins stream through the same iterator with no goroutine
-// outliving the range loop.
+// outliving the range loop. When opts.Stats is set it is filled with this
+// run's exact (tagged) statistics before the iterator returns.
 func joinSeq(ctx context.Context, q, p *Index, opts JoinOptions, self bool) iter.Seq2[Pair, error] {
 	return stream.Seq2(ctx, streamBuffer, func(runCtx context.Context, emit func(Pair)) error {
 		coreOpts := core.Options{
@@ -149,7 +151,22 @@ func joinSeq(ctx context.Context, q, p *Index, opts JoinOptions, self bool) iter
 			Parallelism: opts.Parallelism,
 			OnPair:      func(cp core.Pair) { emit(fromCorePair(cp)) },
 		}
-		_, _, err := core.JoinContext(runCtx, q.tree, p.tree, coreOpts)
+		var rec buffer.TagStats
+		tq := q.tree.Tagged(&rec)
+		tp := tq
+		if p.tree != q.tree {
+			tp = p.tree.Tagged(&rec)
+		}
+		_, st, err := core.JoinContext(runCtx, tq, tp, coreOpts)
+		if opts.Stats != nil {
+			recStats := rec.Stats()
+			*opts.Stats = Stats{
+				Candidates:   st.Candidates,
+				Results:      st.Results,
+				PageFaults:   recStats.Misses,
+				NodeAccesses: recStats.Accesses,
+			}
+		}
 		return err
 	})
 }

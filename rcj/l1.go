@@ -3,6 +3,7 @@ package rcj
 import (
 	"context"
 
+	"repro/internal/buffer"
 	"repro/internal/core"
 )
 
@@ -42,8 +43,13 @@ func SelfJoinL1Context(ctx context.Context, ix *Index) ([]L1Pair, Stats, error) 
 }
 
 func runJoinL1(ctx context.Context, q, p *Index, self bool) ([]L1Pair, Stats, error) {
-	qBase, pBase := q.pool.Stats(), p.pool.Stats()
-	pairs, st, err := core.JoinL1Context(ctx, q.tree, p.tree, core.Options{SelfJoin: self, Collect: true})
+	var rec buffer.TagStats
+	tq := q.tree.Tagged(&rec)
+	tp := tq
+	if p.tree != q.tree {
+		tp = p.tree.Tagged(&rec)
+	}
+	pairs, st, err := core.JoinL1Context(ctx, tq, tp, core.Options{SelfJoin: self, Collect: true})
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -57,13 +63,8 @@ func runJoinL1(ctx context.Context, q, p *Index, self bool) ([]L1Pair, Stats, er
 		}
 	}
 	stats := Stats{Candidates: st.Candidates, Results: st.Results}
-	qNow := q.pool.Stats()
-	stats.PageFaults = qNow.Misses - qBase.Misses
-	stats.NodeAccesses = qNow.Accesses - qBase.Accesses
-	if p.pool != q.pool {
-		pNow := p.pool.Stats()
-		stats.PageFaults += pNow.Misses - pBase.Misses
-		stats.NodeAccesses += pNow.Accesses - pBase.Accesses
-	}
+	recStats := rec.Stats()
+	stats.PageFaults = recStats.Misses
+	stats.NodeAccesses = recStats.Accesses
 	return out, stats, nil
 }

@@ -208,7 +208,9 @@ func (ix *Index) Close() error {
 }
 
 // Stats summarizes what a join run did; see the fields for the paper
-// concepts they correspond to.
+// concepts they correspond to. The buffer counters (PageFaults,
+// NodeAccesses) are attributed to the run exactly via per-join access
+// tagging, even when other joins run concurrently on the same shared pool.
 type Stats struct {
 	// Candidates is the number of pairs that survived the filter step and
 	// were verified (Table 4's candidate counts).
@@ -220,6 +222,15 @@ type Stats struct {
 	// NodeAccesses counts logical R-tree node reads, the paper's CPU
 	// proxy.
 	NodeAccesses int64
+}
+
+// BufferHitRatio returns the fraction of this run's node accesses served
+// from the buffer: 1 - PageFaults/NodeAccesses (0 when nothing was read).
+func (s Stats) BufferHitRatio() float64 {
+	if s.NodeAccesses == 0 {
+		return 0
+	}
+	return 1 - float64(s.PageFaults)/float64(s.NodeAccesses)
 }
 
 // JoinOptions tunes a join. The zero value runs OBJ, the paper's best
@@ -242,6 +253,12 @@ type JoinOptions struct {
 	// OnPair, when non-nil, streams pairs as found; the returned slice is
 	// then nil (streaming mode).
 	OnPair func(Pair)
+	// Stats, when non-nil, receives the run's statistics. For the streaming
+	// Engine.Join/SelfJoin — which have no Stats return — it is filled when
+	// the iterator terminates (the write happens-before the range loop
+	// returns, so reading it afterwards is race-free). The buffer counters
+	// are exact for this join even under concurrent joins on one Engine.
+	Stats *Stats
 }
 
 func (o JoinOptions) algorithm() Algorithm {
@@ -267,7 +284,6 @@ func SelfJoin(ix *Index, opts JoinOptions) ([]Pair, Stats, error) {
 }
 
 func runJoin(ctx context.Context, q, p *Index, opts JoinOptions, self bool) ([]Pair, Stats, error) {
-	qBase, pBase := q.pool.Stats(), p.pool.Stats()
 	coreOpts := core.Options{
 		Algorithm:   opts.algorithm(),
 		SelfJoin:    self,
@@ -277,7 +293,17 @@ func runJoin(ctx context.Context, q, p *Index, opts JoinOptions, self bool) ([]P
 	if opts.OnPair != nil {
 		coreOpts.OnPair = func(cp core.Pair) { opts.OnPair(fromCorePair(cp)) }
 	}
-	pairs, st, err := core.JoinContext(ctx, q.tree, p.tree, coreOpts)
+	// Read both trees through one tagged view so every buffer access of this
+	// run — and only this run — lands in rec, exact under concurrency. Joins
+	// over one tree must see one view: core compares tree identity as a
+	// self-join safety net.
+	var rec buffer.TagStats
+	tq := q.tree.Tagged(&rec)
+	tp := tq
+	if p.tree != q.tree {
+		tp = p.tree.Tagged(&rec)
+	}
+	pairs, st, err := core.JoinContext(ctx, tq, tp, coreOpts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -292,13 +318,11 @@ func runJoin(ctx context.Context, q, p *Index, opts JoinOptions, self bool) ([]P
 		}
 	}
 	stats := Stats{Candidates: st.Candidates, Results: st.Results}
-	qNow := q.pool.Stats()
-	stats.PageFaults = qNow.Misses - qBase.Misses
-	stats.NodeAccesses = qNow.Accesses - qBase.Accesses
-	if p.pool != q.pool {
-		pNow := p.pool.Stats()
-		stats.PageFaults += pNow.Misses - pBase.Misses
-		stats.NodeAccesses += pNow.Accesses - pBase.Accesses
+	recStats := rec.Stats()
+	stats.PageFaults = recStats.Misses
+	stats.NodeAccesses = recStats.Accesses
+	if opts.Stats != nil {
+		*opts.Stats = stats
 	}
 	return out, stats, nil
 }
