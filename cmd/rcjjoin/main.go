@@ -9,6 +9,13 @@
 //	rcjjoin -p a.csv -q b.csv -metric l1 -sort             # Manhattan, sorted
 //	rcjjoin -p a.csv -q b.csv -parallel 8                  # multi-core join
 //
+//	# Constrained queries (predicate pushdown — the index traversal is
+//	# pruned, not the materialized result):
+//	rcjjoin -p a.csv -q b.csv -top-k 10                    # the 10 tightest pairs
+//	rcjjoin -p a.csv -q b.csv -max-diameter 250            # pairs at most 250 wide
+//	rcjjoin -p a.csv -q b.csv -region 1000,1000,5000,5000  # middleman in window
+//	rcjjoin -p a.csv -q b.csv -limit 100                   # first 100 pairs found
+//
 //	# Persist the built indexes, then join again without rebuilding:
 //	rcjjoin -p a.csv -q b.csv -save-index-p a.rcjx -save-index-q b.rcjx > out.csv
 //	rcjjoin -p a.rcjx -q b.rcjx -backend mmap > out.csv
@@ -35,6 +42,7 @@ import (
 	"os/signal"
 	"sort"
 	"strconv"
+	"strings"
 	"syscall"
 
 	"repro/internal/workload"
@@ -55,6 +63,11 @@ func main() {
 		saveQ    = flag.String("save-index-q", "", "after building Q's index, save it to this file")
 		backend  = flag.String("backend", "file", "pager backend for saved-index inputs: mem, file, or mmap")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
+		topK     = flag.Int("top-k", 0, "return only the k tightest pairs, in ascending ring-diameter order (pushdown)")
+		maxDiam  = flag.Float64("max-diameter", 0, "return only pairs with ring diameter at most this (pushdown)")
+		minDist  = flag.Float64("min-distance", 0, "drop pairs whose points are closer than this")
+		limit    = flag.Int("limit", 0, "stop after this many pairs")
+		region   = flag.String("region", "", "window the middleman location must fall in, as minX,minY,maxX,maxY (pushdown)")
 	)
 	flag.Parse()
 
@@ -74,6 +87,26 @@ func main() {
 	be, err := rcj.ParseBackend(*backend)
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	qry := rcj.Query{
+		Algorithm:      alg,
+		ForceAlgorithm: true,
+		Parallelism:    *parallel,
+		TopK:           *topK,
+		MaxDiameter:    *maxDiam,
+		MinDistance:    *minDist,
+		Limit:          *limit,
+	}
+	if *region != "" {
+		qry.Region = parseRegion(*region)
+	}
+	if err := qry.Validate(); err != nil {
+		fatalf("%v", err)
+	}
+	constrained := qry.TopK > 0 || qry.MaxDiameter > 0 || qry.MinDistance > 0 || qry.Limit > 0 || qry.Region != nil
+	if constrained && *metric != "l2" {
+		fatalf("-top-k/-max-diameter/-min-distance/-limit/-region require -metric l2")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -100,21 +133,27 @@ func main() {
 
 	switch *metric {
 	case "l2":
-		opts := rcj.JoinOptions{Algorithm: alg, ForceAlgorithm: true, Parallelism: *parallel}
+		var st rcj.Stats
+		qry.Stats = &st
+		prunedNote := func() string {
+			if constrained {
+				return fmt.Sprintf(", %d nodes pruned", st.NodesPruned)
+			}
+			return ""
+		}
 		if *sorted {
 			// Materialize, sort, then write.
-			opts.SortByDiameter = true
+			qry.SortByDiameter = true
 			var (
 				pairs []rcj.Pair
-				stats rcj.Stats
 				err   error
 			)
 			if *self {
-				pairs, stats, err = eng.SelfJoinCollect(ctx, ixP, opts)
+				pairs, _, err = eng.RunSelfCollect(ctx, ixP, qry)
 			} else {
 				ixQ := loadIndex(*qPath, *saveQ)
 				defer ixQ.Close()
-				pairs, stats, err = eng.JoinCollect(ctx, ixQ, ixP, opts)
+				pairs, _, err = eng.RunCollect(ctx, ixQ, ixP, qry)
 			}
 			if err != nil {
 				if errors.Is(err, context.DeadlineExceeded) {
@@ -125,20 +164,20 @@ func main() {
 			for _, pr := range pairs {
 				writePair(cw, pr.P.ID, pr.Q.ID, pr.Center.X, pr.Center.Y, pr.Radius)
 			}
-			fmt.Fprintf(os.Stderr, "rcjjoin: %d pairs (%d candidates verified, %d page faults)\n",
-				stats.Results, stats.Candidates, stats.PageFaults)
+			fmt.Fprintf(os.Stderr, "rcjjoin: %d pairs (%d candidates verified, %d page faults%s)\n",
+				st.Results, st.Candidates, st.PageFaults, prunedNote())
 			return
 		}
-		// Streaming mode: rows go out as the join confirms them.
+		// Streaming mode: rows go out as the join confirms them (a -top-k
+		// run emits its ranked pairs together once the traversal finishes).
 		var seq iter.Seq2[rcj.Pair, error]
 		if *self {
-			seq = eng.SelfJoin(ctx, ixP, opts)
+			seq = eng.RunSelf(ctx, ixP, qry)
 		} else {
 			ixQ := loadIndex(*qPath, *saveQ)
 			defer ixQ.Close()
-			seq = eng.Join(ctx, ixQ, ixP, opts)
+			seq = eng.Run(ctx, ixQ, ixP, qry)
 		}
-		base := eng.BufferStats() // join-only fault delta, excluding index builds
 		results := 0
 		for pr, err := range seq {
 			if err != nil {
@@ -157,8 +196,7 @@ func main() {
 			writePair(cw, pr.P.ID, pr.Q.ID, pr.Center.X, pr.Center.Y, pr.Radius)
 			results++
 		}
-		faults := eng.BufferStats().Faults() - base.Faults()
-		fmt.Fprintf(os.Stderr, "rcjjoin: %d pairs streamed (%d page faults)\n", results, faults)
+		fmt.Fprintf(os.Stderr, "rcjjoin: %d pairs streamed (%d page faults%s)\n", results, st.PageFaults, prunedNote())
 	case "l1":
 		var (
 			pairs []rcj.L1Pair
@@ -234,6 +272,24 @@ func loadOrOpenIndex(eng *rcj.Engine, path string, backend rcj.Backend, save str
 		fmt.Fprintf(os.Stderr, "rcjjoin: saved index %s (%d points)\n", save, ix.Len())
 	}
 	return ix
+}
+
+// parseRegion parses a -region flag: four comma-separated floats,
+// minX,minY,maxX,maxY.
+func parseRegion(s string) *rcj.Rect {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		fatalf("-region wants minX,minY,maxX,maxY, got %q", s)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			fatalf("-region: bad number %q", p)
+		}
+		vals[i] = v
+	}
+	return &rcj.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
 }
 
 func writePair(cw *csv.Writer, pid, qid int64, cx, cy, r float64) {

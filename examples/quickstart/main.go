@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,4 +51,25 @@ func main() {
 		fmt.Printf("  <p%d, q%d>  middleman at (%.3f, %.3f), radius %.3f\n",
 			pr.P.ID, pr.Q.ID, pr.Center.X, pr.Center.Y, pr.Radius)
 	}
+
+	// The v2 request form: the same join as a constrained Query — here just
+	// the single tightest pair, computed with top-k pushdown instead of
+	// sorting the full result.
+	eng := rcj.NewEngine(rcj.EngineConfig{})
+	exP, err := eng.BuildIndex(p, rcj.IndexConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer exP.Close()
+	exQ, err := eng.BuildIndex(q, rcj.IndexConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer exQ.Close()
+	best, _, err := eng.RunCollect(context.Background(), exQ, exP, rcj.Query{TopK: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tightest pair (Query{TopK: 1}): <p%d, q%d>, ring diameter %.3f\n",
+		best[0].P.ID, best[0].Q.ID, best[0].Diameter())
 }

@@ -1,41 +1,30 @@
 // Tourist recommendation: browsing RCJ results by ring diameter.
 //
 // A tourist wants to visit both a cinema and a restaurant conveniently. The
-// RCJ of the two sets, sorted ascending by ring diameter, presents the
+// RCJ of the two sets, in ascending ring-diameter order, presents the
 // tightest cinema/restaurant pairs first (Section 1 of the paper): standing
 // at a pair's center, the tourist is equidistant from both venues and no
 // competing venue is closer.
 //
-// The demo streams the join (no materialized result set), keeps the top
-// recommendations near the tourist's hotel, and prints an itinerary.
+// The demo is a genuine constrained query, not a full join post-filtered:
+// rcj.Query{TopK, Region} pushes "the 10 tightest pairs whose meeting point
+// is within walking range of the hotel" into the index traversal. The top-k
+// heap's current 10th-best diameter dynamically tightens the search bound
+// (branch-and-bound), and the region window prunes subtrees that cannot
+// produce a meeting point near the hotel — Stats.NodesPruned shows how much
+// of the tree was never visited.
 //
 // Run: go run ./examples/tourist
 package main
 
 import (
-	"container/heap"
+	"context"
 	"fmt"
 	"log"
-	"math"
 	"math/rand"
 
 	"repro/rcj"
 )
-
-// recHeap is a max-heap by badness (so the worst recommendation is popped
-// first), keeping the best K seen while streaming.
-type recHeap []scored
-
-type scored struct {
-	pair    rcj.Pair
-	badness float64 // diameter + detour from the hotel
-}
-
-func (h recHeap) Len() int           { return len(h) }
-func (h recHeap) Less(i, j int) bool { return h[i].badness > h[j].badness }
-func (h recHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *recHeap) Push(x any)        { *h = append(*h, x.(scored)) }
-func (h *recHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
 
 func main() {
 	const n = 2500
@@ -50,54 +39,48 @@ func main() {
 	}
 	cinemas, restaurants := mk(rng.Int63()), mk(rng.Int63())
 
-	ixC, err := rcj.BuildIndex(cinemas, rcj.IndexConfig{})
+	eng := rcj.NewEngine(rcj.EngineConfig{})
+	ixC, err := eng.BuildIndex(cinemas, rcj.IndexConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer ixC.Close()
-	ixR, err := rcj.BuildIndex(restaurants, rcj.IndexConfig{})
+	ixR, err := eng.BuildIndex(restaurants, rcj.IndexConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer ixR.Close()
 
+	// The tourist stays here and will walk at most ~1.5 km to the meeting
+	// point, so only pairs whose center falls in this window matter.
 	hotel := rcj.Point{X: 5200, Y: 4800}
-	const keep = 8
+	const walk = 1500.0
+	qry := rcj.Query{
+		TopK: 10,
+		Region: &rcj.Rect{
+			MinX: hotel.X - walk, MinY: hotel.Y - walk,
+			MaxX: hotel.X + walk, MaxY: hotel.Y + walk,
+		},
+	}
+	var stats rcj.Stats
+	qry.Stats = &stats
 
-	// Stream pairs straight out of the join; no full result materialized.
-	var (
-		h    recHeap
-		seen int64
-	)
-	_, stats, err := rcj.Join(ixR, ixC, rcj.JoinOptions{OnPair: func(p rcj.Pair) {
-		seen++
-		detour := math.Hypot(p.Center.X-hotel.X, p.Center.Y-hotel.Y)
-		s := scored{pair: p, badness: p.Diameter() + detour}
-		if len(h) < keep {
-			heap.Push(&h, s)
-			return
+	// Stream the constrained join: the iterator yields the 10 ranked pairs
+	// once the (pruned) traversal completes, tightest ring first.
+	var recs []rcj.Pair
+	for pr, err := range eng.Run(context.Background(), ixR, ixC, qry) {
+		if err != nil {
+			log.Fatal(err)
 		}
-		if s.badness < h[0].badness {
-			h[0] = s
-			heap.Fix(&h, 0)
-		}
-	}})
-	if err != nil {
-		log.Fatal(err)
+		recs = append(recs, pr)
 	}
 
-	fmt.Printf("streamed %d cinema/restaurant pairs (stats agree: %d), kept best %d near the hotel\n\n",
-		seen, stats.Results, len(h))
-
-	// Pop into ascending badness for display.
-	ordered := make([]scored, len(h))
-	for i := len(h) - 1; i >= 0; i-- {
-		ordered[i] = heap.Pop(&h).(scored)
-	}
-	fmt.Printf("itinerary options from hotel at (%.0f, %.0f):\n", hotel.X, hotel.Y)
-	for i, s := range ordered {
-		p := s.pair
+	fmt.Printf("top %d cinema/restaurant pairs near the hotel (%.0f, %.0f):\n", len(recs), hotel.X, hotel.Y)
+	for i, p := range recs {
 		fmt.Printf("  %d. meet at (%6.0f, %6.0f): cinema #%d and restaurant #%d, each %.0f m away; ring ∅ %.0f m\n",
 			i+1, p.Center.X, p.Center.Y, p.P.ID, p.Q.ID, p.Radius, p.Diameter())
 	}
+	fmt.Printf("\npushdown: %d node accesses, %d subtrees pruned, %d candidates verified\n",
+		stats.NodeAccesses, stats.NodesPruned, stats.Candidates)
+	fmt.Println("(a full join would visit every node, then sort and truncate)")
 }

@@ -34,6 +34,11 @@ func (j *joiner) runBrute() error {
 					continue
 				}
 			}
+			if !j.admitPair(q.P, p.P) {
+				// Query predicates select output pairs; skipping before the
+				// range searches keeps the baseline honest about their cost.
+				continue
+			}
 			c := geom.EnclosingCircle(p.P, q.P)
 			if !j.opts.SkipVerification {
 				ok, err := j.bruteValid(p, q, c)

@@ -126,7 +126,36 @@ type Options struct {
 	// results without holding millions of pairs).
 	Collect bool
 	// OnPair, when non-nil, streams each result pair as it is confirmed.
+	// Under TopK the final pairs are only known when the traversal ends, so
+	// OnPair fires at the end, in ascending diameter order.
 	OnPair func(Pair)
+
+	// The query predicates below select a subset of the join result and are
+	// pushed into the index traversal (see query.go): for every combination,
+	// the output is set-identical to post-filtering the unconstrained join.
+	// They apply to the L2 join only (not JoinL1).
+
+	// MaxDiameter, when > 0, keeps only pairs whose enclosing-circle
+	// diameter (= the distance between the two points) is at most this. The
+	// filter traversal stops at the bound instead of exhausting the tree.
+	MaxDiameter float64
+	// MinDistance, when > 0, drops pairs whose points are closer than this.
+	// Excluded points still act as Ψ− pruners and verification witnesses.
+	MinDistance float64
+	// Region, when non-nil, keeps only pairs whose circle center — the
+	// midpoint of the two points — lies inside the (closed) window. TP
+	// subtrees that cannot produce a center inside the window are pruned.
+	Region *geom.Rect
+	// TopK, when > 0, keeps only the k pairs with the smallest diameters
+	// (ties broken by ascending P.ID then Q.ID), returned in ascending
+	// order. The current k-th diameter dynamically tightens the traversal's
+	// distance bound (branch-and-bound), shared atomically across parallel
+	// workers.
+	TopK int
+	// Limit, when > 0, stops the join after this many pairs. Without TopK
+	// the returned pairs are traversal-order-dependent (any Limit-sized
+	// subset of the result); with TopK it truncates the ranking.
+	Limit int
 }
 
 // Stats reports what a join run did. I/O and node-access counters live in
@@ -147,6 +176,10 @@ type Stats struct {
 	// OuterLeaves counts TQ leaves processed, the unit the sampling cost
 	// estimator extrapolates over.
 	OuterLeaves int64
+	// NodesPruned counts TP subtrees the query predicates (MaxDiameter,
+	// TopK's dynamic bound, Region) discarded without reading — the
+	// observable work pushdown saved versus the unconstrained join.
+	NodesPruned int64
 }
 
 // Join computes the ring-constrained join of the pointsets indexed by tq
@@ -168,18 +201,36 @@ func JoinContext(ctx context.Context, tq, tp SpatialIndex, opts Options) ([]Pair
 
 // joiner carries one run's state. In a parallel run each worker owns a
 // private joiner (stats, plan stages) and shares only the trees, the
-// context, and the synchronized emitter.
+// context, the synchronized emitter, and the predicate state (shared).
 type joiner struct {
 	tq, tp SpatialIndex
 	opts   Options
 	ctx    context.Context
 	plan   plan
+	shared *runShared // TopK/Limit state, shared across workers; nil without predicates
 	stats  Stats
 	out    []Pair
 }
 
-// emit records a confirmed result pair.
+// emit records a confirmed result pair. Under TopK the pair enters the
+// shared bounded heap instead (emitted at flushTopK); under Limit the
+// emission beyond the cap is suppressed and the run flagged to stop.
 func (j *joiner) emit(p Pair) {
+	if sh := j.shared; sh != nil {
+		if sh.topk != nil {
+			sh.topk.offer(p)
+			return
+		}
+		if sh.limit > 0 {
+			n := sh.emitted.Add(1)
+			if n > sh.limit {
+				return
+			}
+			if n == sh.limit {
+				sh.stopped.Store(true)
+			}
+		}
+	}
 	j.stats.Results++
 	if j.opts.Collect {
 		j.out = append(j.out, p)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 
 	"repro/internal/rtree"
@@ -57,6 +58,9 @@ func (j *joiner) execute(ctx context.Context) ([]Pair, Stats, error) {
 	}
 	j.ctx = ctx
 	j.plan = compile(j.opts)
+	if j.opts.hasPredicates() {
+		j.shared = newRunShared(j.opts)
+	}
 	var err error
 	switch {
 	case j.opts.Algorithm == AlgBrute:
@@ -67,6 +71,13 @@ func (j *joiner) execute(ctx context.Context) ([]Pair, Stats, error) {
 		err = j.forEachQLeaf(func(n *rtree.Node) error {
 			return j.processLeaf(n.Points)
 		})
+	}
+	if errors.Is(err, errLimitReached) {
+		// Limit satisfied: the early stop is a clean completion.
+		err = nil
+	}
+	if err == nil && j.shared != nil && j.shared.topk != nil {
+		j.flushTopK()
 	}
 	return j.out, j.stats, err
 }
@@ -168,5 +179,14 @@ func ctxDone(ctx context.Context) error {
 	}
 }
 
-// ctxErr reports whether this run has been cancelled.
-func (j *joiner) ctxErr() error { return ctxDone(j.ctx) }
+// ctxErr reports whether this run has been cancelled or stopped early by a
+// satisfied Limit.
+func (j *joiner) ctxErr() error {
+	if err := ctxDone(j.ctx); err != nil {
+		return err
+	}
+	if j.shared != nil && j.shared.stopped.Load() {
+		return errLimitReached
+	}
+	return nil
+}

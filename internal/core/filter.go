@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"math"
 
 	"repro/internal/geom"
 	"repro/internal/rtree"
@@ -64,6 +65,21 @@ func (j *joiner) filter(q rtree.PointEntry) ([]rtree.PointEntry, error) {
 	for h.Len() > 0 {
 		item := heap.Pop(&h).(filterItem)
 		j.stats.FilterHeapPops++
+		if bound := j.maxPairDiameter(); !math.IsInf(bound, 1) && math.Sqrt(item.dist2) > bound*boundSlack {
+			// The heap pops in ascending distance from q, so everything
+			// still queued is at least this far — beyond any admissible
+			// pair's diameter. Terminate the traversal, crediting the
+			// subtrees never read to the pushdown.
+			if !item.isPoint {
+				j.stats.NodesPruned++
+			}
+			for _, it := range h {
+				if !it.isPoint {
+					j.stats.NodesPruned++
+				}
+			}
+			break
+		}
 		if item.isPoint {
 			if j.opts.SelfJoin && item.point.ID == q.ID {
 				continue
@@ -71,8 +87,16 @@ func (j *joiner) filter(q rtree.PointEntry) ([]rtree.PointEntry, error) {
 			if prs.PrunesPoint(item.point.P) {
 				continue
 			}
-			cands = append(cands, item.point)
+			if j.admitPair(q.P, item.point.P) {
+				cands = append(cands, item.point)
+			}
+			// A point excluded by MinDistance/Region still prunes: the join
+			// predicate behind Ψ− is independent of the query predicates.
 			prs.Add(q.P, item.point.P)
+			continue
+		}
+		if !item.rect.IsEmpty() && j.regionPrunesRect(q.P, item.rect) {
+			j.stats.NodesPruned++
 			continue
 		}
 		if !item.rect.IsEmpty() && prs.PrunesRect(item.rect) {
@@ -142,11 +166,17 @@ func (j *joiner) bulkFilter(leafPoints []rtree.PointEntry, symmetric bool) ([]*b
 		}
 	}
 
+	constrained := j.opts.hasPredicates()
 	h := filterHeap{{dist2: 0, page: j.tp.Root(), rect: geom.EmptyRect()}}
 	heap.Init(&h)
 	for h.Len() > 0 {
 		item := heap.Pop(&h).(filterItem)
 		j.stats.FilterHeapPops++
+		// The bulk traversal is ordered by centroid distance, not per-query
+		// distance, so the bound cannot end the whole traversal; instead
+		// each item is tested per query point against the current bound.
+		bound := j.maxPairDiameter()
+		bounded := !math.IsInf(bound, 1)
 		if item.isPoint {
 			for _, bq := range queries {
 				if j.opts.SelfJoin && item.point.ID == bq.q.ID {
@@ -155,20 +185,44 @@ func (j *joiner) bulkFilter(leafPoints []rtree.PointEntry, symmetric bool) ([]*b
 				if bq.pruners.PrunesPoint(item.point.P) {
 					continue
 				}
-				bq.cands = append(bq.cands, item.point)
+				if constrained {
+					d := bq.q.P.Dist(item.point.P)
+					if bounded && d > bound {
+						// Beyond the diameter bound the point is neither a
+						// candidate nor a useful pruner: any point it could
+						// prune is farther still, hence also beyond the bound.
+						continue
+					}
+					if j.admitPairDist(d, bq.q.P, item.point.P) {
+						bq.cands = append(bq.cands, item.point)
+					}
+				} else {
+					bq.cands = append(bq.cands, item.point)
+				}
+				// MinDistance/Region exclusions still prune (see filter).
 				bq.pruners.Add(bq.q.P, item.point.P)
 			}
 			continue
 		}
 		if !item.rect.IsEmpty() {
 			prunedForAll := true
+			predicatesOnly := true
 			for _, bq := range queries {
+				if (bounded && math.Sqrt(item.rect.MinDist2(bq.q.P)) > bound*boundSlack) ||
+					j.regionPrunesRect(bq.q.P, item.rect) {
+					// Dead for this query point by predicate alone.
+					continue
+				}
+				predicatesOnly = false
 				if !bq.pruners.PrunesRect(item.rect) {
 					prunedForAll = false
 					break
 				}
 			}
 			if prunedForAll {
+				if predicatesOnly {
+					j.stats.NodesPruned++
+				}
 				continue
 			}
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"sync"
 
 	"repro/internal/storage"
@@ -49,8 +50,10 @@ func (j *joiner) runParallel() error {
 	base := j.opts
 	for w := range workers {
 		// Each worker is an independent joiner whose OnPair/Collect are
-		// redirected through the shared, locked emitter.
-		worker := &joiner{tq: j.tq, tp: j.tp, opts: j.opts, ctx: ctx, plan: j.plan}
+		// redirected through the shared, locked emitter. The predicate state
+		// (TopK heap and its dynamic bound, Limit countdown) is shared, so
+		// one worker's tightened bound prunes every worker's traversal.
+		worker := &joiner{tq: j.tq, tp: j.tp, opts: j.opts, ctx: ctx, plan: j.plan, shared: j.shared}
 		worker.opts.Collect = false
 		worker.opts.OnPair = func(p Pair) {
 			emitMu.Lock()
@@ -98,8 +101,14 @@ feed:
 		j.stats.FilterHeapPops += w.stats.FilterHeapPops
 		j.stats.VerifiedNodes += w.stats.VerifiedNodes
 		j.stats.OuterLeaves += w.stats.OuterLeaves
+		j.stats.NodesPruned += w.stats.NodesPruned
 	}
 	if firstErr != nil {
+		// A satisfied Limit stops the feeder and workers through the same
+		// cancellation path as a failure; it is a clean completion.
+		if errors.Is(firstErr, errLimitReached) {
+			return nil
+		}
 		return firstErr
 	}
 	return ctxDone(j.ctx)

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/topk"
+)
+
+// This file is the predicate-pushdown layer of the executor. The constrained
+// browsing scenarios of Section 1 (tourist: ascending ring diameter;
+// school-bus: ranked subsets) never need the full join, so the query
+// predicates of Options — MaxDiameter, MinDistance, Region, TopK, Limit —
+// are pushed into the filter traversal instead of applied to materialized
+// results:
+//
+//   - MaxDiameter bounds the pair distance directly (a two-point enclosing
+//     circle's diameter IS the distance between the points), so the filter's
+//     ascending-distance traversal terminates the moment it pops an item
+//     beyond the bound, and the bulk filter drops TP subtrees whose min
+//     distance to every query point exceeds it.
+//   - TopK runs branch-and-bound: a bounded pair-heap of the k best pairs
+//     seen so far publishes its current k-th diameter as a dynamic
+//     MaxDiameter that tightens mid-traversal, shared atomically across
+//     parallel workers.
+//   - Region prunes TP subtrees whose midpoint rect with the query point —
+//     the set of circle centers the subtree can produce — misses the window.
+//   - Limit stops the whole traversal once enough pairs have been emitted.
+//
+// Pruning never drops a qualifying pair: the distance bound is monotone
+// along the traversal order, a point excluded by MinDistance/Region still
+// installs its Ψ− pruner (the join predicate is independent of the query
+// predicates), and verification always runs against the full trees.
+
+// errLimitReached aborts the traversal once Limit pairs have been emitted.
+// It is an internal control-flow sentinel, mapped to a clean completion
+// before execute returns.
+var errLimitReached = errors.New("core: result limit reached")
+
+// hasPredicates reports whether any pushdown predicate is set.
+func (o Options) hasPredicates() bool {
+	return o.MaxDiameter > 0 || o.MinDistance > 0 || o.Region != nil || o.TopK > 0 || o.Limit > 0
+}
+
+// runShared is the predicate state shared by every worker of one run: the
+// TopK heap with its dynamic bound, or the Limit countdown. One instance per
+// execute; nil when the run has no predicates.
+type runShared struct {
+	topk    *topkState
+	limit   int64 // emission cap when topk is nil; 0 = none
+	emitted atomic.Int64
+	stopped atomic.Bool
+}
+
+// newRunShared compiles the predicate set of one run. TopK subsumes Limit:
+// the k tightest pairs truncated to Limit are the min(k, Limit) tightest.
+func newRunShared(opts Options) *runShared {
+	sh := &runShared{}
+	if opts.TopK > 0 {
+		k := opts.TopK
+		if opts.Limit > 0 && opts.Limit < k {
+			k = opts.Limit
+		}
+		t := &topkState{h: topk.New(k, pairBefore)}
+		t.diam.Store(math.Float64bits(math.Inf(1)))
+		sh.topk = t
+	} else if opts.Limit > 0 {
+		sh.limit = int64(opts.Limit)
+	}
+	return sh
+}
+
+// topkState is the bounded pair-heap of a TopK run. Its current k-th
+// diameter is published through diam so every worker's filter traversal
+// reads the tightest bound with one atomic load, no lock — the
+// branch-and-bound of the paper's browsing scenario.
+type topkState struct {
+	diam atomic.Uint64 // Float64bits of the current diameter bound; +Inf until the heap fills
+	mu   sync.Mutex
+	h    *topk.Heap[Pair]
+}
+
+// bound returns the current dynamic diameter bound: pairs strictly wider
+// cannot enter the final top k.
+func (t *topkState) bound() float64 { return math.Float64frombits(t.diam.Load()) }
+
+// offer submits one verified pair. The heap keeps the k best under the
+// deterministic ranking order; whenever the k-th pair improves, the
+// published bound tightens.
+func (t *topkState) offer(p Pair) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.h.Offer(p) && t.h.Full() {
+		t.diam.Store(math.Float64bits(2 * t.h.Worst().Circle.Radius))
+	}
+}
+
+// sorted drains the heap into ascending ranking order.
+func (t *topkState) sorted() []Pair {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.h.Sorted()
+}
+
+// pairBefore is the deterministic ranking order of constrained queries:
+// ascending circle radius, ties broken by (P.ID, Q.ID). It matches the
+// public SortPairsByDiameter order, so "TopK" means exactly "the first k of
+// the sorted unconstrained join".
+func pairBefore(a, b Pair) bool {
+	if a.Circle.Radius != b.Circle.Radius {
+		return a.Circle.Radius < b.Circle.Radius
+	}
+	if a.P.ID != b.P.ID {
+		return a.P.ID < b.P.ID
+	}
+	return a.Q.ID < b.Q.ID
+}
+
+// boundSlack relaxes the traversal-level distance-bound checks: those
+// derive item distances with math.Sqrt of a squared distance, while the
+// bound itself comes from math.Hypot (2·Circle.Radius = Point.Dist), and
+// the two can disagree by an ulp or two at an exact tie. Under-pruning by
+// this sliver is free — admitPair, which compares Hypot against Hypot
+// exactly, is the final authority on every candidate — whereas over-pruning
+// a boundary tie would break the post-filter set identity. The scale
+// matches geom.CoverTol, dwarfing any rounding disagreement.
+const boundSlack = 1 + 1e-9
+
+// maxPairDiameter returns the upper bound on an admissible pair's diameter
+// (= the distance between its two points): the static MaxDiameter
+// intersected with the TopK heap's dynamic bound. +Inf when unconstrained.
+// Only pairs STRICTLY beyond the bound are inadmissible, keeping ties with
+// the current k-th pair alive for the ID tiebreak; traversal checks widen
+// it by boundSlack (see there).
+func (j *joiner) maxPairDiameter() float64 {
+	d := math.Inf(1)
+	if j.opts.MaxDiameter > 0 {
+		d = j.opts.MaxDiameter
+	}
+	if j.shared != nil && j.shared.topk != nil {
+		if b := j.shared.topk.bound(); b < d {
+			d = b
+		}
+	}
+	return d
+}
+
+// admitPair applies every pair-level predicate to a prospective pair: the
+// diameter bound (static and dynamic), the minimum distance, and the region
+// window on the circle center (the midpoint of the two points). Runs with
+// no predicates skip the distance computation entirely.
+func (j *joiner) admitPair(a, b geom.Point) bool {
+	if !j.opts.hasPredicates() {
+		return true
+	}
+	return j.admitPairDist(a.Dist(b), a, b)
+}
+
+// admitPairDist is admitPair for callers that already hold the pair's exact
+// (math.Hypot) distance — the bulk filter computes it for the bound check
+// and must not pay the square root twice per (leaf point × query point).
+func (j *joiner) admitPairDist(d float64, a, b geom.Point) bool {
+	if d > j.maxPairDiameter() {
+		return false
+	}
+	if j.opts.MinDistance > 0 && d < j.opts.MinDistance {
+		return false
+	}
+	if r := j.opts.Region; r != nil && !r.ContainsPoint(a.Mid(b)) {
+		return false
+	}
+	return true
+}
+
+// regionPrunesRect reports whether the Region window rules out every pair of
+// the query point q with a point inside rect: the candidate circle centers
+// are the midpoints, which form rect shrunk toward q by half — a window
+// disjoint from that midpoint rect can produce no qualifying center.
+func (j *joiner) regionPrunesRect(q geom.Point, rect geom.Rect) bool {
+	r := j.opts.Region
+	if r == nil || rect.IsEmpty() {
+		return false
+	}
+	mid := geom.Rect{
+		MinX: (rect.MinX + q.X) / 2,
+		MinY: (rect.MinY + q.Y) / 2,
+		MaxX: (rect.MaxX + q.X) / 2,
+		MaxY: (rect.MaxY + q.Y) / 2,
+	}
+	return !mid.Intersects(*r)
+}
+
+// flushTopK emits the final top-k pairs in ascending ranking order through
+// the run's original Collect/OnPair configuration. TopK runs cannot stream
+// mid-join — a later, tighter pair may evict an earlier one — so this is the
+// single emission point.
+func (j *joiner) flushTopK() {
+	for _, p := range j.shared.topk.sorted() {
+		j.stats.Results++
+		if j.opts.Collect {
+			j.out = append(j.out, p)
+		}
+		if j.opts.OnPair != nil {
+			j.opts.OnPair(p)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// postFilter applies the query predicates of opts to an unconstrained result
+// set, mirroring admitPair/pairBefore exactly — the oracle the pushdown is
+// validated against.
+func postFilter(pairs []Pair, opts Options) []Pair {
+	var out []Pair
+	for _, p := range pairs {
+		d := p.P.P.Dist(p.Q.P)
+		if opts.MaxDiameter > 0 && d > opts.MaxDiameter {
+			continue
+		}
+		if opts.MinDistance > 0 && d < opts.MinDistance {
+			continue
+		}
+		if opts.Region != nil && !opts.Region.ContainsPoint(p.P.P.Mid(p.Q.P)) {
+			continue
+		}
+		out = append(out, p)
+	}
+	if opts.TopK > 0 {
+		sort.Slice(out, func(i, j int) bool { return pairBefore(out[i], out[j]) })
+		k := opts.TopK
+		if opts.Limit > 0 && opts.Limit < k {
+			k = opts.Limit
+		}
+		if len(out) > k {
+			out = out[:k]
+		}
+	}
+	return out
+}
+
+// predicateCases enumerates the predicate combinations the equivalence tests
+// sweep. The bounds are sized for the 10000² test universe.
+func predicateCases() []Options {
+	region := &geom.Rect{MinX: 2000, MinY: 2000, MaxX: 7000, MaxY: 7000}
+	return []Options{
+		{MaxDiameter: 400},
+		{MinDistance: 250},
+		{Region: region},
+		{TopK: 7},
+		{TopK: 25},
+		{MaxDiameter: 900, Region: region},
+		{TopK: 5, Region: region},
+		{TopK: 10, MaxDiameter: 600, MinDistance: 100},
+		{MaxDiameter: 500, MinDistance: 200, Region: region},
+	}
+}
+
+// TestQueryPredicateEquivalence checks that every predicate combination,
+// under every algorithm, sequential and parallel, two-set and self-join,
+// returns exactly the post-filtered unconstrained result.
+func TestQueryPredicateEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ps := randomPoints(rng, 400)
+	qs := clusteredPoints(rng, 400, 6, 700)
+	tp := buildTree(t, ps, nil, 0, true)
+	tq := buildTree(t, qs, nil, 1, true)
+
+	for _, self := range []bool{false, true} {
+		outer, inner := tq, tp
+		if self {
+			outer, inner = tp, tp
+		}
+		full, _, err := Join(outer, inner, Options{Algorithm: AlgOBJ, SelfJoin: self, Collect: true})
+		if err != nil {
+			t.Fatalf("unconstrained join: %v", err)
+		}
+		for _, alg := range []Algorithm{AlgINJ, AlgBIJ, AlgOBJ, AlgBrute} {
+			for _, par := range []int{1, 4} {
+				if alg == AlgBrute && par > 1 {
+					continue // brute ignores Parallelism
+				}
+				for ci, pred := range predicateCases() {
+					opts := pred
+					opts.Algorithm = alg
+					opts.SelfJoin = self
+					opts.Parallelism = par
+					opts.Collect = true
+					got, st, err := Join(outer, inner, opts)
+					if err != nil {
+						t.Fatalf("%v self=%v par=%d case=%d: %v", alg, self, par, ci, err)
+					}
+					want := postFilter(full, opts)
+					label := fmt.Sprintf("%v self=%v par=%d case=%d", alg, self, par, ci)
+					diffPairs(t, label, want, got)
+					if st.Results != int64(len(got)) {
+						t.Errorf("%s: Stats.Results = %d, want %d", label, st.Results, len(got))
+					}
+					if opts.TopK > 0 {
+						// TopK output is the ranking order, deterministically.
+						for i := 1; i < len(got); i++ {
+							if pairBefore(got[i], got[i-1]) {
+								t.Errorf("%s: top-k output not in ranking order at %d", label, i)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQueryLimit checks that Limit returns a subset of the unconstrained
+// result of exactly min(Limit, total) pairs, and that a satisfied limit is a
+// clean (error-free) early stop, sequential and parallel.
+func TestQueryLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ps := randomPoints(rng, 300)
+	qs := randomPoints(rng, 300)
+	tp := buildTree(t, ps, nil, 0, true)
+	tq := buildTree(t, qs, nil, 1, true)
+
+	full, _, err := Join(tq, tp, Options{Algorithm: AlgOBJ, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSet := pairSet(full)
+	for _, alg := range []Algorithm{AlgINJ, AlgOBJ, AlgBrute} {
+		for _, par := range []int{1, 3} {
+			if alg == AlgBrute && par > 1 {
+				continue
+			}
+			for _, limit := range []int{1, 5, len(full), len(full) + 10} {
+				got, st, err := Join(tq, tp, Options{Algorithm: alg, Parallelism: par, Collect: true, Limit: limit})
+				if err != nil {
+					t.Fatalf("%v par=%d limit=%d: %v", alg, par, limit, err)
+				}
+				want := limit
+				if len(full) < want {
+					want = len(full)
+				}
+				if len(got) != want {
+					t.Errorf("%v par=%d limit=%d: got %d pairs, want %d", alg, par, limit, len(got), want)
+				}
+				if st.Results != int64(len(got)) {
+					t.Errorf("%v par=%d limit=%d: Stats.Results = %d, want %d", alg, par, limit, st.Results, len(got))
+				}
+				for _, p := range got {
+					if _, ok := fullSet[pairKey(p)]; !ok {
+						t.Errorf("%v par=%d limit=%d: pair %s not in unconstrained result", alg, par, limit, pairKey(p))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQueryPruningObservable checks that the pushdown actually prunes:
+// constrained runs must report NodesPruned > 0 and do strictly less filter
+// work than the unconstrained join on the same data.
+func TestQueryPruningObservable(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ps := randomPoints(rng, 2000)
+	qs := randomPoints(rng, 2000)
+	tp := buildTree(t, ps, nil, 0, true)
+	tq := buildTree(t, qs, nil, 1, true)
+
+	_, base, err := Join(tq, tp, Options{Algorithm: AlgINJ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range map[string]Options{
+		"max-diameter": {Algorithm: AlgINJ, MaxDiameter: 300},
+		"top-k":        {Algorithm: AlgINJ, TopK: 10},
+		"region":       {Algorithm: AlgINJ, Region: &geom.Rect{MinX: 4000, MinY: 4000, MaxX: 6000, MaxY: 6000}},
+	} {
+		_, st, err := Join(tq, tp, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.NodesPruned == 0 {
+			t.Errorf("%s: NodesPruned = 0, predicate pruned nothing", name)
+		}
+		if st.FilterHeapPops >= base.FilterHeapPops {
+			t.Errorf("%s: FilterHeapPops = %d, not below unconstrained %d", name, st.FilterHeapPops, base.FilterHeapPops)
+		}
+	}
+
+	// Bulk algorithms prune too.
+	_, st, err := Join(tq, tp, Options{Algorithm: AlgOBJ, TopK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NodesPruned == 0 {
+		t.Error("OBJ top-k: NodesPruned = 0, predicate pruned nothing")
+	}
+}
+
+// TestTopKDynamicBoundTightens checks the branch-and-bound actually engages:
+// a top-k run must pop strictly fewer heap items than the same run with the
+// heap disabled (approximated by top-k = everything).
+func TestTopKDynamicBoundTightens(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ps := randomPoints(rng, 1500)
+	qs := randomPoints(rng, 1500)
+	tp := buildTree(t, ps, nil, 0, true)
+	tq := buildTree(t, qs, nil, 1, true)
+
+	_, full, err := Join(tq, tp, Options{Algorithm: AlgINJ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, topk, err := Join(tq, tp, Options{Algorithm: AlgINJ, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topk.FilterHeapPops >= full.FilterHeapPops {
+		t.Errorf("top-5 popped %d heap items, unconstrained %d — dynamic bound never engaged",
+			topk.FilterHeapPops, full.FilterHeapPops)
+	}
+	if topk.Candidates >= full.Candidates {
+		t.Errorf("top-5 verified %d candidates, unconstrained %d — candidate pruning never engaged",
+			topk.Candidates, full.Candidates)
+	}
+}

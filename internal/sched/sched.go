@@ -313,6 +313,26 @@ func (s *Scheduler) SelfJoin(ctx context.Context, ix *rcj.Index, opts rcj.JoinOp
 	})
 }
 
+// Run admits a streaming v2 query (predicate pushdown: top-k, max-diameter,
+// region window, limit) under the same admission control as Join. See Join
+// for the slot lifecycle and stats contract.
+func (s *Scheduler) Run(ctx context.Context, q, p *rcj.Index, qry rcj.Query, stats *rcj.Stats) (iter.Seq2[rcj.Pair, error], error) {
+	return s.admit(ctx, stats, func(jctx context.Context, st *rcj.Stats) iter.Seq2[rcj.Pair, error] {
+		r := qry
+		r.Stats = st
+		return s.eng.Run(jctx, q, p, r)
+	})
+}
+
+// RunSelf is Run for the self-join of one index.
+func (s *Scheduler) RunSelf(ctx context.Context, ix *rcj.Index, qry rcj.Query, stats *rcj.Stats) (iter.Seq2[rcj.Pair, error], error) {
+	return s.admit(ctx, stats, func(jctx context.Context, st *rcj.Stats) iter.Seq2[rcj.Pair, error] {
+		r := qry
+		r.Stats = st
+		return s.eng.RunSelf(jctx, ix, r)
+	})
+}
+
 // JoinCollect is the materializing convenience over Join, for callers that
 // do not stream (batch tools, tests).
 func (s *Scheduler) JoinCollect(ctx context.Context, q, p *rcj.Index, opts rcj.JoinOptions) ([]rcj.Pair, rcj.Stats, error) {

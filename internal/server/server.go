@@ -7,15 +7,22 @@
 //
 //	POST /join     stream a join as NDJSON (or CSV), one line per confirmed
 //	               pair, flushed as the executor emits them; a final summary
-//	               line carries the request's exact statistics. Admission-
+//	               line carries the request's exact statistics (including
+//	               nodes_pruned for constrained queries). The predicate
+//	               fields max_diameter, min_distance, top_k, limit and
+//	               region push down into the index traversal. Admission-
 //	               control rejections surface as 429 (overloaded, queue
 //	               timeout) or 503 (draining) before any result bytes.
-//	GET  /indexes  list the loaded indexes.
+//	GET  /indexes  list the loaded indexes (with in-flight reference counts).
 //	POST /indexes  load a saved index file: {"name": ..., "path": ...}.
+//	DELETE /indexes/{name}  unload an index, dropping its pages from the
+//	               shared pool; 409 while in-flight joins reference it.
 //	GET  /healthz  200 while serving, 503 once draining.
 //	GET  /metrics  expvar-style JSON counters: scheduler snapshot (in-flight,
 //	               queued, rejected, pairs emitted, per-request-exact buffer
-//	               attribution) plus the engine's pool-wide stats.
+//	               attribution) plus the engine's pool-wide stats. With
+//	               ?format=prom (or Accept: text/plain) the same counters in
+//	               the Prometheus text exposition format.
 package server
 
 import (
@@ -28,15 +35,24 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/buffer"
 	"repro/internal/sched"
 	"repro/rcj"
 )
 
 // ErrIndexExists is returned by LoadIndex when the name is already taken.
 var ErrIndexExists = errors.New("server: index name already loaded")
+
+// ErrIndexUnknown is returned by UnloadIndex for a name that is not loaded.
+var ErrIndexUnknown = errors.New("server: unknown index")
+
+// ErrIndexBusy is returned by UnloadIndex while in-flight joins still
+// reference the index; the unload is rejected cleanly and can be retried.
+var ErrIndexBusy = errors.New("server: index in use by in-flight joins")
 
 // Config assembles a Server.
 type Config struct {
@@ -57,11 +73,14 @@ type Server struct {
 	requests atomic64map
 }
 
-// indexEntry is one registered index and how it was loaded.
+// indexEntry is one registered index and how it was loaded. refs counts the
+// in-flight joins reading the index (guarded by Server.mu), so an unload
+// can refuse to pull pages out from under a running traversal.
 type indexEntry struct {
 	ix      *rcj.Index
 	path    string
 	backend rcj.Backend
+	refs    int
 }
 
 // atomic64map is a tiny fixed-key counter set for per-endpoint request
@@ -142,6 +161,49 @@ func (s *Server) lookup(name string) (*indexEntry, bool) {
 	return e, ok
 }
 
+// acquire pins the registered index for one in-flight join; the caller must
+// release it when the join's stream terminates. A pinned index cannot be
+// unloaded.
+func (s *Server) acquire(name string) (*indexEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.indexes[name]
+	if !ok {
+		return nil, false
+	}
+	e.refs++
+	return e, true
+}
+
+// release unpins an index acquired for a join.
+func (s *Server) release(e *indexEntry) {
+	s.mu.Lock()
+	e.refs--
+	s.mu.Unlock()
+}
+
+// UnloadIndex removes the named index from the registry and drops its pages
+// from the engine's shared buffer pool. An index still referenced by
+// in-flight joins is not unloaded (ErrIndexBusy): the traversal owns its
+// pages — and, for mmap backends, its mapping — until the stream ends.
+func (s *Server) UnloadIndex(name string) error {
+	s.mu.Lock()
+	e, ok := s.indexes[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrIndexUnknown, name)
+	}
+	if e.refs > 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q (%d in flight)", ErrIndexBusy, name, e.refs)
+	}
+	delete(s.indexes, name)
+	s.mu.Unlock()
+	// Close outside the lock: it invalidates the index's owner pages across
+	// every pool shard, and lookups must not stall behind that sweep.
+	return e.ix.Close()
+}
+
 // Close closes every registered index.
 func (s *Server) Close() error {
 	s.mu.Lock()
@@ -162,6 +224,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /join", s.handleJoin)
 	mux.HandleFunc("GET /indexes", s.handleListIndexes)
 	mux.HandleFunc("POST /indexes", s.handleLoadIndex)
+	mux.HandleFunc("DELETE /indexes/{name}", s.handleUnloadIndex)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -190,10 +253,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // indexInfo is one row of GET /indexes.
 type indexInfo struct {
-	Name    string `json:"name"`
-	Points  int    `json:"points"`
-	Path    string `json:"path"`
-	Backend string `json:"backend"`
+	Name     string `json:"name"`
+	Points   int    `json:"points"`
+	Path     string `json:"path"`
+	Backend  string `json:"backend"`
+	InFlight int    `json:"in_flight"`
 }
 
 func (s *Server) handleListIndexes(w http.ResponseWriter, r *http.Request) {
@@ -201,11 +265,32 @@ func (s *Server) handleListIndexes(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	out := make([]indexInfo, 0, len(s.indexes))
 	for name, e := range s.indexes {
-		out = append(out, indexInfo{Name: name, Points: e.ix.Len(), Path: e.path, Backend: e.backend.String()})
+		out = append(out, indexInfo{Name: name, Points: e.ix.Len(), Path: e.path, Backend: e.backend.String(), InFlight: e.refs})
 	}
 	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleUnloadIndex serves DELETE /indexes/{name}: the operational unload
+// path. The index's cached pages leave the shared pool; joins referencing
+// it keep it alive (409, retry after they drain).
+func (s *Server) handleUnloadIndex(w http.ResponseWriter, r *http.Request) {
+	s.requests.inc("indexes_unload")
+	name := r.PathValue("name")
+	if err := s.UnloadIndex(name); err != nil {
+		switch {
+		case errors.Is(err, ErrIndexUnknown):
+			errorJSON(w, http.StatusNotFound, "%v", err)
+		case errors.Is(err, ErrIndexBusy):
+			w.Header().Set("Retry-After", "1")
+			errorJSON(w, http.StatusConflict, "%v", err)
+		default:
+			errorJSON(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"unloaded": name})
 }
 
 // loadRequest is the POST /indexes payload.
@@ -241,6 +326,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.requests.inc("metrics")
 	snap := s.sched.Snapshot()
 	pool := s.sched.Engine().BufferStats()
+	// Prometheus text exposition on request (?format=prom or an Accept
+	// header asking for text/plain); the JSON form stays the default.
+	if r.URL.Query().Get("format") == "prom" ||
+		(r.URL.Query().Get("format") == "" && strings.Contains(r.Header.Get("Accept"), "text/plain")) {
+		s.writePromMetrics(w, snap, pool)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"sched":                  snap,
 		"sched_buffer_hit_ratio": snap.BufferHitRatio(),
@@ -256,8 +348,61 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// writePromMetrics renders the counters in the Prometheus text exposition
+// format (version 0.0.4): gauges for the instantaneous scheduler state,
+// counters for everything cumulative, per-endpoint request totals as one
+// labeled family.
+func (s *Server) writePromMetrics(w http.ResponseWriter, snap sched.Snapshot, pool buffer.Stats) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	b2i := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	type metric struct {
+		name, help, typ string
+		value           int64
+	}
+	for _, m := range []metric{
+		{"rcjd_sched_in_flight", "Joins currently running.", "gauge", int64(snap.InFlight)},
+		{"rcjd_sched_queued", "Requests waiting in the admission queue.", "gauge", int64(snap.Queued)},
+		{"rcjd_sched_draining", "1 once shutdown drain has begun.", "gauge", int64(b2i(snap.Draining))},
+		{"rcjd_sched_admitted_total", "Joins admitted past admission control.", "counter", snap.Admitted},
+		{"rcjd_sched_completed_total", "Joins that streamed to completion.", "counter", snap.Completed},
+		{"rcjd_sched_failed_total", "Joins that terminated with an error.", "counter", snap.Failed},
+		{"rcjd_sched_rejected_overload_total", "Requests rejected with a full queue.", "counter", snap.RejectedOverload},
+		{"rcjd_sched_rejected_queue_timeout_total", "Requests that timed out queued.", "counter", snap.RejectedQueueTimeout},
+		{"rcjd_sched_rejected_draining_total", "Requests rejected during drain.", "counter", snap.RejectedDraining},
+		{"rcjd_sched_pairs_emitted_total", "Result pairs streamed to clients.", "counter", snap.PairsEmitted},
+		{"rcjd_sched_buffer_accesses_total", "Tagged buffer accesses of served joins.", "counter", snap.BufferAccesses},
+		{"rcjd_sched_buffer_hits_total", "Tagged buffer hits of served joins.", "counter", snap.BufferHits},
+		{"rcjd_sched_buffer_misses_total", "Tagged buffer misses of served joins.", "counter", snap.BufferMisses},
+		{"rcjd_pool_accesses_total", "Shared pool accesses (all owners).", "counter", pool.Accesses},
+		{"rcjd_pool_hits_total", "Shared pool hits.", "counter", pool.Hits},
+		{"rcjd_pool_misses_total", "Shared pool misses.", "counter", pool.Misses},
+		{"rcjd_pool_evictions_total", "Shared pool evictions.", "counter", pool.Evictions},
+		{"rcjd_pool_shards", "LRU shards in the shared pool.", "gauge", int64(s.sched.Engine().BufferShards())},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.value)
+	}
+	reqs := s.requests.snapshot()
+	endpoints := make([]string, 0, len(reqs))
+	for k := range reqs {
+		endpoints = append(endpoints, k)
+	}
+	sort.Strings(endpoints)
+	fmt.Fprintf(w, "# HELP rcjd_requests_total HTTP requests served, by endpoint.\n# TYPE rcjd_requests_total counter\n")
+	for _, ep := range endpoints {
+		fmt.Fprintf(w, "rcjd_requests_total{endpoint=%q} %d\n", ep, reqs[ep])
+	}
+}
+
 // joinRequest is the POST /join payload. Exactly one of {"q"} or
 // {"self": true} selects a two-set or self join; "p" is always required.
+// The predicate fields are pushed down into the index traversal — a top-k
+// request prunes the join instead of computing it fully and truncating.
 type joinRequest struct {
 	P           string `json:"p"`
 	Q           string `json:"q"`
@@ -266,6 +411,12 @@ type joinRequest struct {
 	Parallelism int    `json:"parallelism"` // worker goroutines, default 1
 	TimeoutMS   int64  `json:"timeout_ms"`  // per-request cap under the server's JoinTimeout
 	Format      string `json:"format"`      // "ndjson" (default) or "csv"
+
+	MaxDiameter float64   `json:"max_diameter"` // > 0: only pairs at most this wide
+	MinDistance float64   `json:"min_distance"` // > 0: drop pairs tighter than this
+	TopK        int       `json:"top_k"`        // > 0: the k tightest pairs, ascending
+	Limit       int       `json:"limit"`        // > 0: stop after this many pairs
+	Region      []float64 `json:"region"`       // [min_x, min_y, max_x, max_y] window on the circle center
 }
 
 // pairLine is one NDJSON result row.
@@ -279,11 +430,14 @@ type pairLine struct {
 
 // summaryLine terminates a successful NDJSON stream: the request's exact
 // statistics, attributed to it alone even under concurrent joins.
+// NodesPruned shows how much traversal the request's predicates saved —
+// pushdown effectiveness, observable per query.
 type summaryLine struct {
 	Results      int64   `json:"results"`
 	Candidates   int64   `json:"candidates"`
 	NodeAccesses int64   `json:"node_accesses"`
 	PageFaults   int64   `json:"page_faults"`
+	NodesPruned  int64   `json:"nodes_pruned"`
 	BufferHit    float64 `json:"buffer_hit_ratio"`
 	ElapsedMS    int64   `json:"elapsed_ms"`
 }
@@ -326,17 +480,41 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if maxPar := runtime.GOMAXPROCS(0); req.Parallelism > maxPar {
 		req.Parallelism = maxPar
 	}
-	ixP, ok := s.lookup(req.P)
+	qry := rcj.Query{
+		Algorithm:      alg,
+		ForceAlgorithm: true,
+		Parallelism:    req.Parallelism,
+		MaxDiameter:    req.MaxDiameter,
+		MinDistance:    req.MinDistance,
+		TopK:           req.TopK,
+		Limit:          req.Limit,
+	}
+	if len(req.Region) > 0 {
+		if len(req.Region) != 4 {
+			errorJSON(w, http.StatusBadRequest, "region must be [min_x, min_y, max_x, max_y], got %d values", len(req.Region))
+			return
+		}
+		qry.Region = &rcj.Rect{MinX: req.Region[0], MinY: req.Region[1], MaxX: req.Region[2], MaxY: req.Region[3]}
+	}
+	if err := qry.Validate(); err != nil {
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Pin the indexes for the lifetime of the stream so a concurrent
+	// DELETE /indexes/{name} cannot unmap pages a running traversal reads.
+	ixP, ok := s.acquire(req.P)
 	if !ok {
 		errorJSON(w, http.StatusNotFound, "unknown index %q", req.P)
 		return
 	}
+	defer s.release(ixP)
 	var ixQ *indexEntry
 	if !req.Self {
-		if ixQ, ok = s.lookup(req.Q); !ok {
+		if ixQ, ok = s.acquire(req.Q); !ok {
 			errorJSON(w, http.StatusNotFound, "unknown index %q", req.Q)
 			return
 		}
+		defer s.release(ixQ)
 	}
 
 	// The request context cancels when the client disconnects; that
@@ -350,14 +528,13 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	opts := rcj.JoinOptions{Algorithm: alg, ForceAlgorithm: true, Parallelism: req.Parallelism}
 	var st rcj.Stats
 	var seq iter.Seq2[rcj.Pair, error]
 	var err error
 	if req.Self {
-		seq, err = s.sched.SelfJoin(ctx, ixP.ix, opts, &st)
+		seq, err = s.sched.RunSelf(ctx, ixP.ix, qry, &st)
 	} else {
-		seq, err = s.sched.Join(ctx, ixQ.ix, ixP.ix, opts, &st)
+		seq, err = s.sched.Run(ctx, ixQ.ix, ixP.ix, qry, &st)
 	}
 	if err != nil {
 		s.writeAdmissionError(w, err)
@@ -405,6 +582,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			Candidates:   st.Candidates,
 			NodeAccesses: st.NodeAccesses,
 			PageFaults:   st.PageFaults,
+			NodesPruned:  st.NodesPruned,
 			BufferHit:    st.BufferHitRatio(),
 			ElapsedMS:    time.Since(start).Milliseconds(),
 		}})

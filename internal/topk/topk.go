@@ -1,0 +1,92 @@
+// Package topk provides the bounded best-k heap behind the constrained
+// query executors: the Euclidean branch-and-bound (internal/core) and the
+// road-network one (rcjnet) both keep the k best pairs seen so far and
+// publish the current k-th as a dynamic search bound. Synchronization and
+// bound encoding differ per caller, so this holds only the shared
+// structure: a max-heap under a caller-supplied ranking, worst on top,
+// ready for eviction.
+package topk
+
+// Heap keeps the k best items under before (a strict total order, best
+// first). The zero value is not usable; construct with New.
+type Heap[T any] struct {
+	k      int
+	before func(a, b T) bool
+	h      []T
+}
+
+// New returns a heap retaining the k best items. k must be positive.
+func New[T any](k int, before func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{k: k, before: before}
+}
+
+// Len returns the number of retained items.
+func (t *Heap[T]) Len() int { return len(t.h) }
+
+// Full reports whether the heap holds k items, i.e. Worst is the current
+// k-th best and can serve as a pruning bound.
+func (t *Heap[T]) Full() bool { return len(t.h) == t.k }
+
+// Worst returns the worst retained item (the k-th best once Full). It
+// panics on an empty heap.
+func (t *Heap[T]) Worst() T { return t.h[0] }
+
+// Offer submits one item, evicting the current worst if x beats it.
+// It reports whether the retained set changed — when Full, that means the
+// k-th best improved and any published bound should tighten.
+func (t *Heap[T]) Offer(x T) bool {
+	if len(t.h) < t.k {
+		t.h = append(t.h, x)
+		t.up(len(t.h) - 1)
+		return true
+	}
+	if !t.before(x, t.h[0]) {
+		return false
+	}
+	t.h[0] = x
+	t.down(0)
+	return true
+}
+
+// Sorted drains the heap, returning the retained items best-first.
+func (t *Heap[T]) Sorted() []T {
+	out := make([]T, len(t.h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = t.h[0]
+		last := len(t.h) - 1
+		t.h[0] = t.h[last]
+		t.h = t.h[:last]
+		t.down(0)
+	}
+	return out
+}
+
+// up/down sift under the max-heap invariant: a parent is never before its
+// children.
+func (t *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.before(t.h[parent], t.h[i]) {
+			return
+		}
+		t.h[parent], t.h[i] = t.h[i], t.h[parent]
+		i = parent
+	}
+}
+
+func (t *Heap[T]) down(i int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(t.h) && t.before(t.h[worst], t.h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(t.h) && t.before(t.h[worst], t.h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.h[i], t.h[worst] = t.h[worst], t.h[i]
+		i = worst
+	}
+}

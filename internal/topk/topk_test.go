@@ -1,0 +1,50 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHeapAgainstSort cross-checks Offer/Full/Worst/Sorted against sorting
+// the whole input, over random sizes, ks, and duplicate-heavy values.
+func TestHeapAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	before := func(a, b int) bool { return a < b }
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(60)
+		k := 1 + rng.Intn(12)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(20) // collisions exercise the strictness of before
+		}
+
+		h := New(k, before)
+		sofar := []int(nil)
+		for _, v := range vals {
+			h.Offer(v)
+			sofar = append(sofar, v)
+			sort.Ints(sofar)
+			if wantFull := len(sofar) >= k; h.Full() != wantFull {
+				t.Fatalf("trial %d: Full() = %v with %d of %d items", trial, h.Full(), len(sofar), k)
+			}
+			if h.Full() && h.Worst() != sofar[k-1] {
+				t.Fatalf("trial %d: Worst() = %d, want k-th best %d", trial, h.Worst(), sofar[k-1])
+			}
+		}
+
+		got := h.Sorted()
+		want := sofar
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d retained, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: Sorted()[%d] = %d, want %d (%v vs %v)", trial, i, got[i], want[i], got, want)
+			}
+		}
+	}
+}

@@ -6,9 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/buffer"
-	"repro/internal/core"
 	"repro/internal/storage"
-	"repro/internal/stream"
 )
 
 // Engine is a long-lived query engine serving many concurrent
@@ -138,35 +136,7 @@ func Collect(seq iter.Seq2[Pair, error]) ([]Pair, error) {
 	return out, nil
 }
 
-// joinSeq runs the join in a producer goroutine bridged to the consumer
-// through stream.Seq2, so parallel joins (whose workers emit concurrently)
-// and sequential joins stream through the same iterator with no goroutine
-// outliving the range loop. When opts.Stats is set it is filled with this
-// run's exact (tagged) statistics before the iterator returns.
+// joinSeq bridges the v1 streaming entry points onto the v2 query executor.
 func joinSeq(ctx context.Context, q, p *Index, opts JoinOptions, self bool) iter.Seq2[Pair, error] {
-	return stream.Seq2(ctx, streamBuffer, func(runCtx context.Context, emit func(Pair)) error {
-		coreOpts := core.Options{
-			Algorithm:   opts.algorithm(),
-			SelfJoin:    self,
-			Parallelism: opts.Parallelism,
-			OnPair:      func(cp core.Pair) { emit(fromCorePair(cp)) },
-		}
-		var rec buffer.TagStats
-		tq := q.tree.Tagged(&rec)
-		tp := tq
-		if p.tree != q.tree {
-			tp = p.tree.Tagged(&rec)
-		}
-		_, st, err := core.JoinContext(runCtx, tq, tp, coreOpts)
-		if opts.Stats != nil {
-			recStats := rec.Stats()
-			*opts.Stats = Stats{
-				Candidates:   st.Candidates,
-				Results:      st.Results,
-				PageFaults:   recStats.Misses,
-				NodeAccesses: recStats.Accesses,
-			}
-		}
-		return err
-	})
+	return querySeq(ctx, q, p, opts.query(), self)
 }

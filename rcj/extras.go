@@ -1,7 +1,7 @@
 package rcj
 
 import (
-	"container/heap"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -23,46 +23,15 @@ func VerifyPair(q, p *Index, pPoint, qPoint Point) (bool, error) {
 // TopKByDiameter computes the k ring-constrained join pairs with the
 // smallest enclosing-circle diameters — the head of the paper's
 // tourist-recommendation browsing order — without materializing the full
-// result set. Pairs stream through a bounded max-heap; memory is O(k).
-// The returned slice is in ascending diameter order.
+// result set. It runs a Query with TopK pushdown, so the traversal itself
+// is bounded (branch-and-bound), not just the memory. The returned slice
+// is in ascending diameter order.
 func TopKByDiameter(q, p *Index, k int) ([]Pair, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	h := &diamHeap{}
-	_, _, err := Join(q, p, JoinOptions{OnPair: func(pr Pair) {
-		if h.Len() < k {
-			heap.Push(h, pr)
-			return
-		}
-		if pr.Radius < (*h)[0].Radius {
-			(*h)[0] = pr
-			heap.Fix(h, 0)
-		}
-	}})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Pair, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(Pair)
-	}
-	return out, nil
-}
-
-// diamHeap is a max-heap of pairs by radius, holding the k smallest seen.
-type diamHeap []Pair
-
-func (h diamHeap) Len() int           { return len(h) }
-func (h diamHeap) Less(i, j int) bool { return h[i].Radius > h[j].Radius }
-func (h diamHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *diamHeap) Push(x any)        { *h = append(*h, x.(Pair)) }
-func (h *diamHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+	pairs, _, err := runQuery(context.Background(), q, p, Query{TopK: k}, false, nil)
+	return pairs, err
 }
 
 // IndexStats describes the physical shape of an index.

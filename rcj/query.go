@@ -1,0 +1,254 @@
+package rcj
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/stream"
+)
+
+// Rect is an axis-aligned query window in dataset coordinates. Containment
+// is closed: points on the boundary are inside.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether (x, y) lies inside or on the boundary of r.
+func (r Rect) Contains(x, y float64) bool {
+	return r.MinX <= x && x <= r.MaxX && r.MinY <= y && y <= r.MaxY
+}
+
+// ErrBadQuery is wrapped by every query-validation failure.
+var ErrBadQuery = errors.New("rcj: invalid query")
+
+// Query is the composable ring-constrained join request: which algorithm to
+// run, how wide to fan out, and which subset of the result to return. The
+// zero value is the unconstrained join under OBJ, the paper's best
+// algorithm.
+//
+// The predicates — MaxDiameter, MinDistance, Region, TopK, Limit — are
+// pushed down into the index traversal rather than applied to a
+// materialized result: subtrees that cannot contribute a qualifying pair
+// are pruned (observable via Stats.NodesPruned), and a TopK query tightens
+// its own distance bound as better pairs are found (branch-and-bound). For
+// every combination the output is set-identical to post-filtering the
+// unconstrained join with Matches (plus the TopK/Limit truncation).
+type Query struct {
+	// Algorithm picks the strategy; the zero value (INJ) is overridden to
+	// OBJ unless ForceAlgorithm is set, because OBJ dominates in every
+	// experiment.
+	Algorithm Algorithm
+	// ForceAlgorithm uses Algorithm verbatim even when it is the zero value.
+	ForceAlgorithm bool
+	// Parallelism, when > 1, runs the join across that many goroutines. The
+	// result set is identical; emission order is not deterministic (TopK
+	// output is always in ranking order regardless).
+	Parallelism int
+
+	// MaxDiameter, when > 0, keeps only pairs whose ring diameter is at
+	// most this — the tourist's "no pair wider than I'm willing to walk".
+	MaxDiameter float64
+	// MinDistance, when > 0, drops pairs whose two points are closer than
+	// this (trivially-tight pairs a planner may want to skip).
+	MinDistance float64
+	// Region, when non-nil, keeps only pairs whose derived middleman
+	// location (the circle center) lies inside the window.
+	Region *Rect
+	// TopK, when > 0, returns only the k pairs with the smallest ring
+	// diameters (ties broken by ascending P.ID then Q.ID), in ascending
+	// order — the head of the paper's browsing order, computed without
+	// materializing the rest. TopK results do not stream incrementally: the
+	// iterator yields them when the traversal completes.
+	TopK int
+	// Limit, when > 0, stops the join after this many pairs. Combined with
+	// TopK it truncates the ranking; alone it returns a traversal-dependent
+	// subset (cheap "peek at some results").
+	Limit int
+
+	// SortByDiameter orders collected results by ascending ring diameter
+	// (RunCollect only; streaming ignores it, and TopK output is already in
+	// that order).
+	SortByDiameter bool
+	// Stats, when non-nil, receives the run's statistics. For streaming
+	// runs it is filled when the iterator terminates (the write
+	// happens-before the range loop returns).
+	Stats *Stats
+}
+
+// Validate reports whether the query is well-formed.
+func (q Query) Validate() error {
+	switch {
+	case q.Parallelism < 0:
+		return fmt.Errorf("%w: negative parallelism %d", ErrBadQuery, q.Parallelism)
+	case q.MaxDiameter < 0:
+		return fmt.Errorf("%w: negative max diameter %g", ErrBadQuery, q.MaxDiameter)
+	case q.MinDistance < 0:
+		return fmt.Errorf("%w: negative min distance %g", ErrBadQuery, q.MinDistance)
+	case q.TopK < 0:
+		return fmt.Errorf("%w: negative top-k %d", ErrBadQuery, q.TopK)
+	case q.Limit < 0:
+		return fmt.Errorf("%w: negative limit %d", ErrBadQuery, q.Limit)
+	}
+	// The negated form also rejects NaN coordinates (every NaN comparison is
+	// false), which would otherwise silently prune the whole join.
+	if r := q.Region; r != nil && !(r.MinX <= r.MaxX && r.MinY <= r.MaxY) {
+		return fmt.Errorf("%w: empty region window %+v", ErrBadQuery, *r)
+	}
+	return nil
+}
+
+// Matches reports whether one pair satisfies the query's pair-level
+// predicates (MaxDiameter, MinDistance, Region). It is exactly the
+// post-filter the pushdown is equivalent to; TopK and Limit are set-level
+// and not evaluated here.
+func (q Query) Matches(p Pair) bool {
+	d := p.Diameter()
+	if q.MaxDiameter > 0 && d > q.MaxDiameter {
+		return false
+	}
+	if q.MinDistance > 0 && d < q.MinDistance {
+		return false
+	}
+	if q.Region != nil && !q.Region.Contains(p.Center.X, p.Center.Y) {
+		return false
+	}
+	return true
+}
+
+func (q Query) algorithm() Algorithm {
+	if !q.ForceAlgorithm && q.Algorithm == core.AlgINJ {
+		return core.AlgOBJ
+	}
+	return q.Algorithm
+}
+
+// coreOptions compiles the request into executor options.
+func (q Query) coreOptions(self bool) core.Options {
+	co := core.Options{
+		Algorithm:   q.algorithm(),
+		SelfJoin:    self,
+		Parallelism: q.Parallelism,
+		MaxDiameter: q.MaxDiameter,
+		MinDistance: q.MinDistance,
+		TopK:        q.TopK,
+		Limit:       q.Limit,
+	}
+	if q.Region != nil {
+		co.Region = &geom.Rect{MinX: q.Region.MinX, MinY: q.Region.MinY, MaxX: q.Region.MaxX, MaxY: q.Region.MaxY}
+	}
+	return co
+}
+
+// Run computes the constrained ring-constrained join of the datasets of p
+// and q, streaming each qualifying pair as the executor confirms it (TopK
+// pairs arrive together, in ranking order, when the traversal finishes).
+// The returned iterator is single-use; cancelling ctx or breaking out of
+// the loop aborts the join promptly. An invalid query yields ErrBadQuery as
+// the iterator's first element.
+func (e *Engine) Run(ctx context.Context, q, p *Index, qry Query) iter.Seq2[Pair, error] {
+	return querySeq(ctx, q, p, qry, false)
+}
+
+// RunSelf is Run for the self-join of one dataset; each unordered pair is
+// reported once with P.ID < Q.ID.
+func (e *Engine) RunSelf(ctx context.Context, ix *Index, qry Query) iter.Seq2[Pair, error] {
+	return querySeq(ctx, ix, ix, qry, true)
+}
+
+// RunCollect is the materializing form of Run: it runs the query to
+// completion under ctx and returns all qualifying pairs plus run
+// statistics (exact per-request buffer attribution, as JoinCollect).
+func (e *Engine) RunCollect(ctx context.Context, q, p *Index, qry Query) ([]Pair, Stats, error) {
+	return runQuery(ctx, q, p, qry, false, nil)
+}
+
+// RunSelfCollect is the materializing form of RunSelf.
+func (e *Engine) RunSelfCollect(ctx context.Context, ix *Index, qry Query) ([]Pair, Stats, error) {
+	return runQuery(ctx, ix, ix, qry, true, nil)
+}
+
+// runQuery executes one materializing (or OnPair-streaming) query: the
+// single execution path under every public join entry point, legacy and v2.
+func runQuery(ctx context.Context, q, p *Index, qry Query, self bool, onPair func(Pair)) ([]Pair, Stats, error) {
+	if err := qry.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	coreOpts := qry.coreOptions(self)
+	coreOpts.Collect = onPair == nil
+	if onPair != nil {
+		coreOpts.OnPair = func(cp core.Pair) { onPair(fromCorePair(cp)) }
+	}
+	// Read both trees through one tagged view so every buffer access of this
+	// run — and only this run — lands in rec, exact under concurrency. Joins
+	// over one tree must see one view: core compares tree identity as a
+	// self-join safety net.
+	var rec buffer.TagStats
+	tq := q.tree.Tagged(&rec)
+	tp := tq
+	if p.tree != q.tree {
+		tp = p.tree.Tagged(&rec)
+	}
+	pairs, st, err := core.JoinContext(ctx, tq, tp, coreOpts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var out []Pair
+	if coreOpts.Collect {
+		out = make([]Pair, len(pairs))
+		for i, cp := range pairs {
+			out[i] = fromCorePair(cp)
+		}
+		if qry.SortByDiameter {
+			SortPairsByDiameter(out)
+		}
+	}
+	stats := statsFrom(st, &rec)
+	if qry.Stats != nil {
+		*qry.Stats = stats
+	}
+	return out, stats, nil
+}
+
+// querySeq runs the query in a producer goroutine bridged to the consumer
+// through stream.Seq2, so parallel joins (whose workers emit concurrently)
+// and sequential joins stream through the same iterator with no goroutine
+// outliving the range loop. When qry.Stats is set it is filled with this
+// run's exact (tagged) statistics before the iterator returns.
+func querySeq(ctx context.Context, q, p *Index, qry Query, self bool) iter.Seq2[Pair, error] {
+	if err := qry.Validate(); err != nil {
+		return func(yield func(Pair, error) bool) { yield(Pair{}, err) }
+	}
+	return stream.Seq2(ctx, streamBuffer, func(runCtx context.Context, emit func(Pair)) error {
+		coreOpts := qry.coreOptions(self)
+		coreOpts.OnPair = func(cp core.Pair) { emit(fromCorePair(cp)) }
+		var rec buffer.TagStats
+		tq := q.tree.Tagged(&rec)
+		tp := tq
+		if p.tree != q.tree {
+			tp = p.tree.Tagged(&rec)
+		}
+		_, st, err := core.JoinContext(runCtx, tq, tp, coreOpts)
+		if qry.Stats != nil {
+			*qry.Stats = statsFrom(st, &rec)
+		}
+		return err
+	})
+}
+
+// statsFrom merges executor statistics with the run's tagged buffer
+// counters.
+func statsFrom(st core.Stats, rec *buffer.TagStats) Stats {
+	r := rec.Stats()
+	return Stats{
+		Candidates:   st.Candidates,
+		Results:      st.Results,
+		NodesPruned:  st.NodesPruned,
+		PageFaults:   r.Misses,
+		NodeAccesses: r.Accesses,
+	}
+}

@@ -222,6 +222,10 @@ type Stats struct {
 	// NodeAccesses counts logical R-tree node reads, the paper's CPU
 	// proxy.
 	NodeAccesses int64
+	// NodesPruned counts index subtrees the query predicates discarded
+	// without reading (0 for unconstrained joins) — how much work the
+	// pushdown saved versus computing the full join.
+	NodesPruned int64
 }
 
 // BufferHitRatio returns the fraction of this run's node accesses served
@@ -235,6 +239,11 @@ func (s Stats) BufferHitRatio() float64 {
 
 // JoinOptions tunes a join. The zero value runs OBJ, the paper's best
 // algorithm, and collects all pairs.
+//
+// JoinOptions is the v1 request form, kept as a thin wrapper over Query:
+// Join(q, p, opts) is exactly RunCollect with the equivalent unconstrained
+// Query. New code that wants predicate pushdown (top-k, max-diameter,
+// region windows) should use Query with Engine.Run/RunCollect.
 type JoinOptions struct {
 	// Algorithm picks the strategy; zero value (INJ) is overridden to OBJ
 	// unless ForceAlgorithm is set, because OBJ dominates in every
@@ -261,11 +270,22 @@ type JoinOptions struct {
 	Stats *Stats
 }
 
-func (o JoinOptions) algorithm() Algorithm {
-	if !o.ForceAlgorithm && o.Algorithm == core.AlgINJ {
-		return core.AlgOBJ
+// query translates the v1 options into the equivalent (unconstrained)
+// Query, the single execution path. v1 never validated Parallelism — any
+// value <= 1 ran sequentially — so negative values are clamped rather than
+// handed to Query.Validate's stricter v2 contract.
+func (o JoinOptions) query() Query {
+	par := o.Parallelism
+	if par < 0 {
+		par = 0
 	}
-	return o.Algorithm
+	return Query{
+		Algorithm:      o.Algorithm,
+		ForceAlgorithm: o.ForceAlgorithm,
+		Parallelism:    par,
+		SortByDiameter: o.SortByDiameter,
+		Stats:          o.Stats,
+	}
 }
 
 // Join computes the ring-constrained join between the datasets of p and q:
@@ -284,47 +304,7 @@ func SelfJoin(ix *Index, opts JoinOptions) ([]Pair, Stats, error) {
 }
 
 func runJoin(ctx context.Context, q, p *Index, opts JoinOptions, self bool) ([]Pair, Stats, error) {
-	coreOpts := core.Options{
-		Algorithm:   opts.algorithm(),
-		SelfJoin:    self,
-		Collect:     opts.OnPair == nil,
-		Parallelism: opts.Parallelism,
-	}
-	if opts.OnPair != nil {
-		coreOpts.OnPair = func(cp core.Pair) { opts.OnPair(fromCorePair(cp)) }
-	}
-	// Read both trees through one tagged view so every buffer access of this
-	// run — and only this run — lands in rec, exact under concurrency. Joins
-	// over one tree must see one view: core compares tree identity as a
-	// self-join safety net.
-	var rec buffer.TagStats
-	tq := q.tree.Tagged(&rec)
-	tp := tq
-	if p.tree != q.tree {
-		tp = p.tree.Tagged(&rec)
-	}
-	pairs, st, err := core.JoinContext(ctx, tq, tp, coreOpts)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	var out []Pair
-	if coreOpts.Collect {
-		out = make([]Pair, len(pairs))
-		for i, cp := range pairs {
-			out[i] = fromCorePair(cp)
-		}
-		if opts.SortByDiameter {
-			SortPairsByDiameter(out)
-		}
-	}
-	stats := Stats{Candidates: st.Candidates, Results: st.Results}
-	recStats := rec.Stats()
-	stats.PageFaults = recStats.Misses
-	stats.NodeAccesses = recStats.Accesses
-	if opts.Stats != nil {
-		*opts.Stats = stats
-	}
-	return out, stats, nil
+	return runQuery(ctx, q, p, opts.query(), self, opts.OnPair)
 }
 
 func fromCorePair(cp core.Pair) Pair {

@@ -15,6 +15,7 @@ package rcjnet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"iter"
 	"math"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/roadnet"
 	"repro/internal/stream"
+	"repro/internal/topk"
 )
 
 // NodeID identifies a road-graph node (an intersection).
@@ -132,6 +134,52 @@ func JoinContext(ctx context.Context, gr *Graph, P, Q []Point) ([]Pair, Stats, e
 // ctx (or breaking out of the loop) aborts the join promptly, and no
 // goroutine outlives the range loop.
 func JoinSeq(ctx context.Context, gr *Graph, P, Q []Point) iter.Seq2[Pair, error] {
+	return Run(ctx, gr, P, Q, Query{})
+}
+
+// Query constrains a network join, mirroring rcj.Query for the road-network
+// metric. Predicates are pushed into the join's Dijkstra expansions: a
+// distance bound stops each frontier early, and a TopK query tightens that
+// bound as better pairs are found (branch-and-bound).
+type Query struct {
+	// MaxNetworkDist, when > 0, keeps only pairs within this shortest-path
+	// distance of each other.
+	MaxNetworkDist float64
+	// TopK, when > 0, returns only the k closest pairs by network distance
+	// (ties broken by ascending P.ID then Q.ID), in ascending order,
+	// yielded together when the traversal completes.
+	TopK int
+	// Limit, when > 0, stops the join after this many pairs.
+	Limit int
+}
+
+// Validate reports whether the query is well-formed.
+func (q Query) Validate() error {
+	switch {
+	case q.MaxNetworkDist < 0:
+		return fmt.Errorf("rcjnet: invalid query: negative max network distance %g", q.MaxNetworkDist)
+	case q.TopK < 0:
+		return fmt.Errorf("rcjnet: invalid query: negative top-k %d", q.TopK)
+	case q.Limit < 0:
+		return fmt.Errorf("rcjnet: invalid query: negative limit %d", q.Limit)
+	}
+	return nil
+}
+
+// Matches reports whether one pair satisfies the query's pair-level
+// predicates (MaxNetworkDist) — the post-filter the pushdown is equivalent
+// to.
+func (q Query) Matches(p Pair) bool {
+	return q.MaxNetworkDist <= 0 || p.NetworkDist <= q.MaxNetworkDist
+}
+
+// Run streams the constrained network join: the iterator yields exactly the
+// unconstrained join post-filtered by the query (TopK in ascending distance
+// order). Cancelling ctx or breaking out aborts the join promptly.
+func Run(ctx context.Context, gr *Graph, P, Q []Point, qry Query) iter.Seq2[Pair, error] {
+	if err := qry.Validate(); err != nil {
+		return func(yield func(Pair, error) bool) { yield(Pair{}, err) }
+	}
 	return stream.Seq2(ctx, 64, func(runCtx context.Context, emit func(Pair)) error {
 		pRefs, err := toRefs(gr, P)
 		if err != nil {
@@ -141,11 +189,102 @@ func JoinSeq(ctx context.Context, gr *Graph, P, Q []Point) iter.Seq2[Pair, error
 		if err != nil {
 			return err
 		}
-		_, _, err = roadnet.JoinContext(runCtx, gr.g, pRefs, qRefs, func(p roadnet.Pair) {
+		k := qry.TopK
+		if k > 0 && qry.Limit > 0 && qry.Limit < k {
+			k = qry.Limit
+		}
+		best := newNetTopK(k) // nil when k == 0
+		bound := func() float64 {
+			b := math.Inf(1)
+			if qry.MaxNetworkDist > 0 {
+				b = qry.MaxNetworkDist
+			}
+			if best != nil {
+				if tb := netBound(best); tb < b {
+					b = tb
+				}
+			}
+			return b
+		}
+		// Limit without TopK: cancel the traversal once enough pairs are out.
+		runCtx, cancel := context.WithCancel(runCtx)
+		defer cancel()
+		emitted := 0
+		limited := false
+		_, _, err = roadnet.JoinBounded(runCtx, gr.g, pRefs, qRefs, bound, func(p roadnet.Pair) {
+			if qry.MaxNetworkDist > 0 && p.Dist > qry.MaxNetworkDist {
+				return
+			}
+			if best != nil {
+				best.Offer(p)
+				return
+			}
+			if qry.Limit > 0 && emitted >= qry.Limit {
+				return
+			}
 			emit(fromRoadnetPair(p))
+			emitted++
+			if qry.Limit > 0 && emitted == qry.Limit {
+				limited = true
+				cancel()
+			}
 		})
-		return err
+		if err != nil {
+			if limited && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+				err = nil // a satisfied Limit is a clean completion
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if best != nil {
+			for _, p := range best.Sorted() {
+				emit(fromRoadnetPair(p))
+			}
+		}
+		return nil
 	})
+}
+
+// RunCollect materializes Run.
+func RunCollect(ctx context.Context, gr *Graph, P, Q []Point, qry Query) ([]Pair, error) {
+	var out []Pair
+	for p, err := range Run(ctx, gr, P, Q, qry) {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// newNetTopK returns the bounded pair-heap of a network TopK query, ranked
+// by (Dist, P.ID, Q.ID); the k-th distance (netBound) serves as the
+// traversal's dynamic bound. The join is single-goroutine, so no locking.
+func newNetTopK(k int) *topk.Heap[roadnet.Pair] {
+	if k <= 0 {
+		return nil
+	}
+	return topk.New(k, netPairBefore)
+}
+
+func netPairBefore(a, b roadnet.Pair) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	if a.P.ID != b.P.ID {
+		return a.P.ID < b.P.ID
+	}
+	return a.Q.ID < b.Q.ID
+}
+
+// netBound returns the heap's current pruning bound: the k-th best network
+// distance, +Inf until the heap fills.
+func netBound(h *topk.Heap[roadnet.Pair]) float64 {
+	if !h.Full() {
+		return math.Inf(1)
+	}
+	return h.Worst().Dist
 }
 
 func fromRoadnetPair(p roadnet.Pair) Pair {

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"math"
+	"math/rand"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 )
@@ -163,5 +165,118 @@ func TestJoinSeqCancelledAndEarlyBreak(t *testing.T) {
 	}
 	if g := runtime.NumGoroutine(); g > base {
 		t.Fatalf("goroutines leaked after early break: %d > %d", g, base)
+	}
+}
+
+// randomGraph builds a connected random graph with pts points scattered on
+// its nodes, deterministic under seed.
+func randomGraph(t *testing.T, n int, seed int64) (*Graph, []Point, []Point) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := NewGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		// Spanning tree keeps it connected; extra chords add shortcuts.
+		if err := g.AddRoad(NodeID(rng.Intn(i)), NodeID(i), 1+rng.Float64()*9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		a, b := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if a != b {
+			g.AddRoad(a, b, 1+rng.Float64()*19) // duplicate edges are fine
+		}
+	}
+	var P, Q []Point
+	for i := 0; i < n/3; i++ {
+		P = append(P, Point{ID: int64(i), Node: NodeID(rng.Intn(n))})
+		Q = append(Q, Point{ID: int64(i), Node: NodeID(rng.Intn(n))})
+	}
+	return g, P, Q
+}
+
+// TestRunConstrainedEquivalence checks the network pushdown property: Run
+// with any predicate combination equals post-filtering the unconstrained
+// join (TopK = the k closest by network distance, ties by IDs).
+func TestRunConstrainedEquivalence(t *testing.T) {
+	g, P, Q := randomGraph(t, 120, 3)
+	full, _, err := Join(g, P, Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortNet := func(pairs []Pair) {
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].NetworkDist != pairs[j].NetworkDist {
+				return pairs[i].NetworkDist < pairs[j].NetworkDist
+			}
+			if pairs[i].P.ID != pairs[j].P.ID {
+				return pairs[i].P.ID < pairs[j].P.ID
+			}
+			return pairs[i].Q.ID < pairs[j].Q.ID
+		})
+	}
+	for ci, qry := range []Query{
+		{},
+		{MaxNetworkDist: 5},
+		{MaxNetworkDist: 15},
+		{TopK: 1},
+		{TopK: 4},
+		{TopK: len(full) + 5},
+		{TopK: 3, MaxNetworkDist: 20},
+	} {
+		got, err := RunCollect(context.Background(), g, P, Q, qry)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		var want []Pair
+		for _, p := range full {
+			if qry.Matches(p) {
+				want = append(want, p)
+			}
+		}
+		if qry.TopK > 0 {
+			sortNet(want)
+			if len(want) > qry.TopK {
+				want = want[:qry.TopK]
+			}
+		} else {
+			sortNet(got)
+			sortNet(want)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("case %d: %d pairs, want %d", ci, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].P.ID != want[i].P.ID || got[i].Q.ID != want[i].Q.ID {
+				t.Errorf("case %d pair %d: <%d,%d> vs want <%d,%d>", ci, i, got[i].P.ID, got[i].Q.ID, want[i].P.ID, want[i].Q.ID)
+			}
+		}
+	}
+
+	// Limit: a clean subset of bounded size.
+	got, err := RunCollect(context.Background(), g, P, Q, Query{Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) >= 3 && len(got) != 3 {
+		t.Fatalf("limit=3 returned %d pairs", len(got))
+	}
+	keys := make(map[[2]int64]bool, len(full))
+	for _, p := range full {
+		keys[[2]int64{p.P.ID, p.Q.ID}] = true
+	}
+	for _, p := range got {
+		if !keys[[2]int64{p.P.ID, p.Q.ID}] {
+			t.Errorf("limit pair <%d,%d> not in unconstrained result", p.P.ID, p.Q.ID)
+		}
+	}
+
+	// Malformed queries surface as the stream's first element.
+	for _, bad := range []Query{{TopK: -1}, {Limit: -1}, {MaxNetworkDist: -2}} {
+		if _, err := RunCollect(context.Background(), g, P, Q, bad); err == nil {
+			t.Errorf("query %+v: no validation error", bad)
+		}
 	}
 }
