@@ -10,6 +10,11 @@
 //	     -backend mmap -buffer 4096 \
 //	     -max-concurrent 4 -max-queue 64 -queue-timeout 2s -join-timeout 1m
 //
+//	# Serve indexes hosted by any range-capable HTTP server (no shared
+//	# filesystem): pages fetch lazily, checksum-verified, with async
+//	# readahead. URL indexes also load at runtime via POST /indexes.
+//	rcjd -addr :8080 -index p=https://indexes.example.com/p.rcjx
+//
 //	# Stream a join (NDJSON, one pair per line, summary last):
 //	curl -sN localhost:8080/join -d '{"p":"restaurants","q":"residences"}'
 //
@@ -45,7 +50,7 @@ import (
 func main() {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
-		backend       = flag.String("backend", "mem", "pager backend for saved indexes: mem, file, or mmap")
+		backend       = flag.String("backend", "mem", "pager backend for saved indexes: mem, file, mmap, or http (implied by URL indexes)")
 		bufPages      = flag.Int("buffer", 4096, "shared buffer pool size in pages (0 = unbounded)")
 		bufShards     = flag.Int("buffer-shards", 0, "buffer LRU shards (0 = auto from GOMAXPROCS)")
 		maxConcurrent = flag.Int("max-concurrent", 2, "joins running simultaneously")
@@ -55,7 +60,7 @@ func main() {
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight joins on shutdown")
 	)
 	indexes := map[string]string{}
-	flag.Func("index", "saved index to serve, as name=path.rcjx (repeatable)", func(v string) error {
+	flag.Func("index", "saved index to serve, as name=path.rcjx or name=https://host/ix.rcjx (repeatable)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
 		if !ok || name == "" || path == "" {
 			return fmt.Errorf("want name=path, got %q", v)

@@ -20,14 +20,20 @@
 //	rcjjoin -p a.csv -q b.csv -save-index-p a.rcjx -save-index-q b.rcjx > out.csv
 //	rcjjoin -p a.rcjx -q b.rcjx -backend mmap > out.csv
 //
-// Each of -p and -q accepts either a CSV pointset ("id,x,y" or "x,y" rows,
-// ids assigned in file order) or a saved index file written by -save-index-*
-// (detected by its magic, conventionally named ".rcjx"); index inputs skip
-// the build entirely and are served through the backend chosen with
-// -backend. Output rows are "p_id,q_id,center_x,center_y,radius", one per
-// RCJ pair. Results stream as the join finds them; -sort buffers them for
-// ascending ring-diameter order instead. Interrupting the process (Ctrl-C)
-// cancels the join cleanly.
+//	# Join saved indexes served by any range-capable HTTP server — no
+//	# shared filesystem; pages fetch lazily, checksum-verified, with async
+//	# readahead:
+//	rcjjoin -p https://indexes.example.com/a.rcjx -q https://indexes.example.com/b.rcjx > out.csv
+//
+// Each of -p and -q accepts a CSV pointset ("id,x,y" or "x,y" rows, ids
+// assigned in file order), a saved index file written by -save-index-*
+// (detected by its magic, conventionally named ".rcjx"), or an http(s) URL
+// of a saved index; index inputs skip the build entirely and are served
+// through the backend chosen with -backend (URLs imply -backend http).
+// Output rows are "p_id,q_id,center_x,center_y,radius", one per RCJ pair.
+// Results stream as the join finds them; -sort buffers them for ascending
+// ring-diameter order instead. Interrupting the process (Ctrl-C) cancels
+// the join cleanly.
 package main
 
 import (
@@ -61,7 +67,7 @@ func main() {
 		bufPages = flag.Int("buffer", 0, "shared buffer pool size in pages (0 = unbounded)")
 		saveP    = flag.String("save-index-p", "", "after building P's index, save it to this file (skip the build next run by passing it as -p)")
 		saveQ    = flag.String("save-index-q", "", "after building Q's index, save it to this file")
-		backend  = flag.String("backend", "file", "pager backend for saved-index inputs: mem, file, or mmap")
+		backend  = flag.String("backend", "file", "pager backend for saved-index inputs: mem, file, mmap, or http (implied by URL inputs)")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 		topK     = flag.Int("top-k", 0, "return only the k tightest pairs, in ascending ring-diameter order (pushdown)")
 		maxDiam  = flag.Float64("max-diameter", 0, "return only pairs with ring diameter at most this (pushdown)")
@@ -232,20 +238,22 @@ func main() {
 	}
 }
 
-// loadOrOpenIndex turns one -p/-q argument into a ready index: a saved index
-// file (recognized by its magic) is reopened through the chosen backend with
-// no build; anything else is read as a CSV pointset and indexed. When save is
-// non-empty the index is persisted there, so the next run can pass the saved
-// file instead of the CSV and skip the build entirely.
+// loadOrOpenIndex turns one -p/-q argument into a ready index: an http(s)
+// URL opens as a remote index (range requests, per-page checksums, async
+// readahead); a saved index file (recognized by its magic) is reopened
+// through the chosen backend with no build; anything else is read as a CSV
+// pointset and indexed. When save is non-empty the index is persisted there,
+// so the next run can pass the saved file instead of the CSV and skip the
+// build entirely.
 func loadOrOpenIndex(eng *rcj.Engine, path string, backend rcj.Backend, save string) *rcj.Index {
 	var ix *rcj.Index
-	if rcj.IsIndexFile(path) {
+	if rcj.IsIndexURL(path) || rcj.IsIndexFile(path) {
 		var err error
 		ix, err = eng.OpenIndex(path, rcj.IndexConfig{Backend: backend})
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "rcjjoin: opened index %s (%d points, %s backend)\n", path, ix.Len(), backend)
+		fmt.Fprintf(os.Stderr, "rcjjoin: opened index %s (%d points, %s backend)\n", path, ix.Len(), ix.Backend())
 	} else {
 		f, err := os.Open(path)
 		if err != nil {

@@ -36,11 +36,15 @@ type Key struct {
 // Stats are cumulative access counters for a pool. Accesses counts every
 // logical node access (the paper's CPU-cost proxy); Misses counts page
 // faults (the paper's I/O-cost driver); Evictions counts LRU replacements.
+// PrefetchHits counts hits on entries a Prefetcher loaded ahead of demand
+// and that had not been demanded before — each one is a page fault the
+// readahead hid from the requester.
 type Stats struct {
-	Accesses  int64
-	Hits      int64
-	Misses    int64
-	Evictions int64
+	Accesses     int64
+	Hits         int64
+	Misses       int64
+	Evictions    int64
+	PrefetchHits int64
 }
 
 // Faults returns the number of page faults (cache misses).
@@ -60,6 +64,7 @@ func (s *Stats) add(o Stats) {
 	s.Hits += o.Hits
 	s.Misses += o.Misses
 	s.Evictions += o.Evictions
+	s.PrefetchHits += o.PrefetchHits
 }
 
 // TagStats attributes buffer accesses to one logical request (typically one
@@ -90,8 +95,9 @@ func (t *TagStats) Stats() Stats {
 }
 
 type entry struct {
-	key   Key
-	value any
+	key        Key
+	value      any
+	prefetched bool // loaded by a Prefetcher and not yet demanded
 }
 
 // shard is one independently-locked LRU partition of a Pool.
@@ -239,7 +245,8 @@ func (p *Pool) Len() int {
 // it on a miss. The loaded value is cached (unless the shard's capacity is
 // zero) and the access is counted either way.
 func (p *Pool) Get(k Key, load func() (any, error)) (any, error) {
-	return p.GetTagged(k, nil, load)
+	v, _, err := p.GetTaggedFirst(k, nil, load)
+	return v, err
 }
 
 // GetTagged is Get with per-request attribution: when tag is non-nil the
@@ -247,19 +254,35 @@ func (p *Pool) Get(k Key, load func() (any, error)) (any, error) {
 // same hit/miss classification, so summing all tags plus untagged accesses
 // reproduces Pool.Stats exactly.
 func (p *Pool) GetTagged(k Key, tag *TagStats, load func() (any, error)) (any, error) {
+	v, _, err := p.GetTaggedFirst(k, tag, load)
+	return v, err
+}
+
+// GetTaggedFirst is GetTagged additionally reporting whether this access
+// was the page's first demand read since it entered the pool — a miss, or
+// the first hit on a prefetched entry. That is the signal readahead uses to
+// advance: a traversal landing on a prefetched page has reached a fresh
+// frontier even though the pool served it as a hit.
+func (p *Pool) GetTaggedFirst(k Key, tag *TagStats, load func() (any, error)) (any, bool, error) {
 	s := p.shardFor(k)
 	s.mu.Lock()
 	s.stats.Accesses++
 	if el, ok := s.items[k]; ok {
 		s.stats.Hits++
+		e := el.Value.(*entry)
+		first := e.prefetched
+		if first {
+			e.prefetched = false
+			s.stats.PrefetchHits++
+		}
 		s.ll.MoveToFront(el)
-		v := el.Value.(*entry).value
+		v := e.value
 		s.mu.Unlock()
 		if tag != nil {
 			tag.accesses.Add(1)
 			tag.hits.Add(1)
 		}
-		return v, nil
+		return v, first, nil
 	}
 	s.stats.Misses++
 	s.mu.Unlock()
@@ -272,23 +295,28 @@ func (p *Pool) GetTagged(k Key, tag *TagStats, load func() (any, error)) (any, e
 	// and may be slow for file-backed pagers.
 	v, err := load()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.capacity == 0 {
-		return v, nil
+		return v, true, nil
 	}
 	if el, ok := s.items[k]; ok {
 		// Another goroutine cached it meanwhile; prefer the existing value.
+		// If that was a racing prefetch, the page has now been demanded (and
+		// counted as a full miss above), so consume the flag without a
+		// PrefetchHit — the readahead did not beat this demand.
+		e := el.Value.(*entry)
+		e.prefetched = false
 		s.ll.MoveToFront(el)
-		return el.Value.(*entry).value, nil
+		return e.value, true, nil
 	}
 	el := s.ll.PushFront(&entry{key: k, value: v})
 	s.items[k] = el
 	s.evictOverflow()
-	return v, nil
+	return v, true, nil
 }
 
 // Put inserts or refreshes a cached value, used when a node is (re)written so
@@ -308,6 +336,38 @@ func (p *Pool) Put(k Key, v any) {
 	el := s.ll.PushFront(&entry{key: k, value: v})
 	s.items[k] = el
 	s.evictOverflow()
+}
+
+// Contains reports whether k is cached, without touching the LRU order or
+// the access counters. It is the cheap pre-check the Prefetcher uses to skip
+// pages demand already brought in.
+func (p *Pool) Contains(k Key) bool {
+	s := p.shardFor(k)
+	s.mu.Lock()
+	_, ok := s.items[k]
+	s.mu.Unlock()
+	return ok
+}
+
+// PutPrefetched inserts v for k as a prefetched entry, reporting whether
+// the insert happened: an already-cached key is left untouched, a
+// zero-capacity shard caches nothing, and a full shard rejects the insert
+// outright. Speculative pages enter at the LRU *cold end* — readahead must
+// never evict a demand-loaded page, whose value is proven, for one that is
+// only predicted; the first demand Get promotes the entry to MRU like any
+// hit and counts a PrefetchHit.
+func (p *Pool) PutPrefetched(k Key, v any) bool {
+	s := p.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capacity == 0 || (s.capacity > 0 && s.ll.Len() >= s.capacity) {
+		return false
+	}
+	if _, ok := s.items[k]; ok {
+		return false
+	}
+	s.items[k] = s.ll.PushBack(&entry{key: k, value: v, prefetched: true})
+	return true
 }
 
 // Invalidate removes k from the cache if present.

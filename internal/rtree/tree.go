@@ -72,6 +72,8 @@ type Tree struct {
 	pageBuf []byte // scratch page for encoding
 
 	tag *buffer.TagStats // per-request attribution for reads; nil on the base tree
+
+	prefetch *buffer.Prefetcher // async readahead of child pages; nil = off
 }
 
 // ErrEmptyTree is returned by operations that need at least one point.
@@ -192,20 +194,85 @@ func (t *Tree) Tagged(tag *buffer.TagStats) *Tree {
 	return &view
 }
 
+// SetPrefetcher attaches an async readahead executor: whenever a traversal
+// faults an internal node in, the pages of all its children are offered to
+// pf, so a high-latency pager (HTTP ranges) overlaps their round trips with
+// the CPU work on the current node. The root's children are offered
+// immediately (Open already cached the root, so its fault will never
+// re-occur to trigger them). Call after Open and before the tree serves
+// concurrent reads; tagged views created afterwards inherit it. The caller
+// owns pf's lifecycle (Close it before the pager).
+func (t *Tree) SetPrefetcher(pf *buffer.Prefetcher) {
+	t.prefetch = pf
+	if pf == nil || t.root == storage.InvalidPageID || t.height < 2 {
+		return
+	}
+	if root, err := t.ReadNode(t.root); err == nil && !root.Leaf {
+		t.offerChildren(root, readaheadDepth)
+	}
+}
+
+// readaheadDepth bounds how many levels below a demand-faulted node the
+// prefetch cascade may reach. Depth 2 covers a faulted node's children and
+// grandchildren — enough for the cascade to stay ahead of a full-join
+// traversal (each deeper demand fault renews the budget) while capping how
+// much of a subtree a *pruned* traversal pays for: a selective query
+// (top-k, region window) never drags in whole subtrees it will never visit.
+const readaheadDepth = 2
+
+// offerChildren enqueues readahead for every child page of an internal
+// node. A prefetch load that turns out to be internal offers its own
+// children from inside the worker while depth remains, so the readahead
+// cascades ahead of the traversal without the demand path ever re-offering
+// on warm reads; the prefetcher's bounded queue (shed on full) and the
+// depth budget keep the cascade from flooding a selective query with the
+// whole tree.
+func (t *Tree) offerChildren(n *Node, depth int) {
+	if depth <= 0 {
+		return
+	}
+	for _, e := range n.Children {
+		child := e.Child
+		t.prefetch.Offer(buffer.Key{Owner: t.cfg.Owner, Page: child}, func() (any, error) {
+			v, err := t.loadNode(child)
+			if err == nil {
+				if cn, ok := v.(*Node); ok && !cn.Leaf {
+					t.offerChildren(cn, depth-1)
+				}
+			}
+			return v, err
+		})
+	}
+}
+
+// loadNode reads and decodes page id straight from the pager, bypassing the
+// buffer pool: the shared load path of demand reads and prefetches.
+func (t *Tree) loadNode(id storage.PageID) (any, error) {
+	buf := make([]byte, t.cfg.PageSize)
+	if err := t.pager.ReadPage(id, buf); err != nil {
+		return nil, err
+	}
+	return DecodeNode(buf)
+}
+
 // ReadNode fetches the node stored at page id, consulting the buffer pool
-// first. Misses are page faults.
+// first. Misses are page faults. With a prefetcher attached, the first
+// demand read of an internal node — a fault, or the first hit on a page
+// readahead brought in — offers all its children for readahead, so the
+// cascade's frontier advances with the traversal while warm re-reads of a
+// cached node pay nothing for the hook.
 func (t *Tree) ReadNode(id storage.PageID) (*Node, error) {
-	v, err := t.pool.GetTagged(buffer.Key{Owner: t.cfg.Owner, Page: id}, t.tag, func() (any, error) {
-		buf := make([]byte, t.cfg.PageSize)
-		if err := t.pager.ReadPage(id, buf); err != nil {
-			return nil, err
-		}
-		return DecodeNode(buf)
+	v, first, err := t.pool.GetTaggedFirst(buffer.Key{Owner: t.cfg.Owner, Page: id}, t.tag, func() (any, error) {
+		return t.loadNode(id)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.(*Node), nil
+	n := v.(*Node)
+	if t.prefetch != nil && first && !n.Leaf {
+		t.offerChildren(n, readaheadDepth)
+	}
+	return n, nil
 }
 
 // writeNode serializes n to page id and refreshes the buffer pool.

@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the bucket upper bounds, in seconds, of the scheduler's
+// duration histograms — a decade-spanning ladder (1ms to 30s) so both a
+// sub-millisecond queue pass-through and a pathological 20s join land in an
+// informative bucket. Fixed at compile time: every Snapshot and every
+// Prometheus scrape sees the same bucket layout, which is what makes the
+// 429/queue tuning comparisons valid across restarts.
+var latencyBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// numBuckets is len(latencyBounds)+1: the last bucket catches everything
+// beyond the largest bound (+Inf).
+const numBuckets = 15
+
+// histogram is a fixed-bucket duration histogram with lock-free recording:
+// one atomic add per observation, so the admission path pays nanoseconds for
+// its observability.
+type histogram struct {
+	counts   [numBuckets]atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latencyBounds) && s > latencyBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// HistogramSnapshot is the wire form of a histogram: per-bucket counts (not
+// cumulative; the Prometheus writer cumulates), the bucket upper bounds in
+// seconds (the last bucket is +Inf and has no bound entry), and the
+// count/sum pair every histogram convention wants.
+type HistogramSnapshot struct {
+	BoundsSeconds []float64 `json:"bounds_seconds"`
+	Counts        []int64   `json:"counts"`
+	Count         int64     `json:"count"`
+	SumSeconds    float64   `json:"sum_seconds"`
+}
+
+// snapshot returns a point-in-time copy of the histogram. Count is derived
+// from the bucket counts rather than the count field, so a snapshot racing
+// an observe (bucket incremented, count not yet) is still internally
+// consistent — the bucket series and the total always agree.
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		BoundsSeconds: latencyBounds,
+		Counts:        make([]int64, numBuckets),
+		SumSeconds:    time.Duration(h.sumNanos.Load()).Seconds(),
+	}
+	for i := range s.Counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
+	}
+	return s
+}

@@ -102,6 +102,15 @@ type Snapshot struct {
 	BufferAccesses int64 `json:"buffer_accesses"`
 	BufferHits     int64 `json:"buffer_hits"`
 	BufferMisses   int64 `json:"buffer_misses"`
+
+	// QueueWait distributes the admission wait of every admitted request
+	// (immediate grants land in the lowest bucket); JoinLatency distributes
+	// the execution time of every join that terminated (completed or
+	// failed), queue wait excluded. Histograms, not just counters, so the
+	// 429 tuning (MaxQueue, QueueTimeout, MaxConcurrent) is driven by the
+	// shape of the wait distribution rather than an average.
+	QueueWait   HistogramSnapshot `json:"queue_wait"`
+	JoinLatency HistogramSnapshot `json:"join_latency"`
 }
 
 // BufferHitRatio returns the aggregate buffer hit rate over served joins.
@@ -135,6 +144,9 @@ type Scheduler struct {
 	bufAccesses          atomic.Int64
 	bufHits              atomic.Int64
 	bufMisses            atomic.Int64
+
+	queueWait   histogram
+	joinLatency histogram
 }
 
 // New returns a scheduler admitting joins into eng under cfg's bounds.
@@ -160,6 +172,7 @@ func (s *Scheduler) Config() Config { return s.cfg }
 // for callers scheduling non-Join work (e.g. L1 joins) under the same
 // admission bounds.
 func (s *Scheduler) Acquire(ctx context.Context) (release func(), err error) {
+	start := time.Now()
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -174,6 +187,7 @@ func (s *Scheduler) Acquire(ctx context.Context) (release func(), err error) {
 		s.running++
 		s.mu.Unlock()
 		s.admitted.Add(1)
+		s.queueWait.observe(time.Since(start))
 		return s.releaseOnce(), nil
 	}
 	if s.cfg.MaxQueue >= 0 && s.queue.Len() >= s.cfg.MaxQueue {
@@ -194,6 +208,7 @@ func (s *Scheduler) Acquire(ctx context.Context) (release func(), err error) {
 	select {
 	case <-w.ready:
 		s.admitted.Add(1)
+		s.queueWait.observe(time.Since(start))
 		return s.releaseOnce(), nil
 	case <-ctx.Done():
 		if s.abandon(w) {
@@ -357,6 +372,8 @@ func (s *Scheduler) admit(ctx context.Context, stats *rcj.Stats, mk func(context
 	}
 	return func(yield func(rcj.Pair, error) bool) {
 		defer release()
+		start := time.Now()
+		defer func() { s.joinLatency.observe(time.Since(start)) }()
 		jctx := ctx
 		cancel := context.CancelFunc(func() {})
 		if s.cfg.JoinTimeout > 0 {
@@ -412,5 +429,7 @@ func (s *Scheduler) Snapshot() Snapshot {
 	snap.BufferAccesses = s.bufAccesses.Load()
 	snap.BufferHits = s.bufHits.Load()
 	snap.BufferMisses = s.bufMisses.Load()
+	snap.QueueWait = s.queueWait.snapshot()
+	snap.JoinLatency = s.joinLatency.snapshot()
 	return snap
 }

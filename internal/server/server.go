@@ -69,6 +69,11 @@ type Server struct {
 
 	mu      sync.RWMutex
 	indexes map[string]*indexEntry
+	// Retired remote/prefetch totals of unloaded indexes: /metrics counters
+	// must stay monotone across unload/reload cycles, so a closed index's
+	// final counts fold in here rather than vanishing from the sums.
+	retiredRemote   rcj.RemoteStats
+	retiredPrefetch rcj.PrefetchStats
 
 	requests atomic64map
 }
@@ -148,7 +153,9 @@ func (s *Server) LoadIndex(name, path string) error {
 		ix.Close()
 		return fmt.Errorf("%w: %q", ErrIndexExists, name)
 	}
-	s.indexes[name] = &indexEntry{ix: ix, path: path, backend: s.backend}
+	// Record the backend the index actually opened with: a URL path
+	// upgrades to the http backend regardless of the server's default.
+	s.indexes[name] = &indexEntry{ix: ix, path: path, backend: ix.Backend()}
 	s.mu.Unlock()
 	return nil
 }
@@ -197,23 +204,56 @@ func (s *Server) UnloadIndex(name string) error {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %q (%d in flight)", ErrIndexBusy, name, e.refs)
 	}
+	// Retire the counters in the same critical section that removes the
+	// entry: a /metrics scrape between removal and close must see the
+	// retired totals already folded in, or the counters would dip and read
+	// as a Prometheus counter reset.
+	rs0, ps0 := indexStats(e.ix)
+	s.addRetired(rs0, ps0)
 	delete(s.indexes, name)
 	s.mu.Unlock()
 	// Close outside the lock: it invalidates the index's owner pages across
 	// every pool shard, and lookups must not stall behind that sweep.
-	return e.ix.Close()
+	err := e.ix.Close()
+	// The prefetcher may have completed a few loads between the snapshot
+	// and the drain; fold the delta in so the totals end exact.
+	rs1, ps1 := indexStats(e.ix)
+	s.mu.Lock()
+	s.addRetired(rs1.Sub(rs0), ps1.Sub(ps0))
+	s.mu.Unlock()
+	return err
 }
 
-// Close closes every registered index.
+// indexStats reads an index's remote/prefetch counters (zero when absent).
+func indexStats(ix *rcj.Index) (rcj.RemoteStats, rcj.PrefetchStats) {
+	rs, _ := ix.RemoteStats()
+	ps, _ := ix.PrefetchStats()
+	return rs, ps
+}
+
+// addRetired folds counters into the retired totals. Caller holds s.mu.
+func (s *Server) addRetired(rs rcj.RemoteStats, ps rcj.PrefetchStats) {
+	s.retiredRemote.Add(rs)
+	s.retiredPrefetch.Add(ps)
+}
+
+// Close closes every registered index, retiring its counters so a final
+// scrape still sums correctly.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	var first error
+	entries := make([]*indexEntry, 0, len(s.indexes))
 	for name, e := range s.indexes {
+		rs, ps := indexStats(e.ix)
+		s.addRetired(rs, ps)
+		entries = append(entries, e)
+		delete(s.indexes, name)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, e := range entries {
 		if err := e.ix.Close(); err != nil && first == nil {
 			first = err
 		}
-		delete(s.indexes, name)
 	}
 	return first
 }
@@ -322,27 +362,63 @@ func (s *Server) handleLoadIndex(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, indexInfo{Name: req.Name, Points: e.ix.Len(), Path: req.Path, Backend: e.backend.String()})
 }
 
+// remoteTotals sums the remote-transfer and readahead counters over every
+// registered index plus the retired totals of unloaded ones (so the
+// counters stay monotone), telling the remote-serving story: round trips,
+// retries, bytes, and how much of it the prefetcher hid. remoteIndexes is a
+// gauge: currently-registered remote indexes only.
+func (s *Server) remoteTotals() (remote rcj.RemoteStats, prefetch rcj.PrefetchStats, remoteIndexes int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	remote = s.retiredRemote
+	prefetch = s.retiredPrefetch
+	for _, e := range s.indexes {
+		if rs, ok := e.ix.RemoteStats(); ok {
+			remoteIndexes++
+			remote.Add(rs)
+		}
+		if ps, ok := e.ix.PrefetchStats(); ok {
+			prefetch.Add(ps)
+		}
+	}
+	return remote, prefetch, remoteIndexes
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.requests.inc("metrics")
 	snap := s.sched.Snapshot()
 	pool := s.sched.Engine().BufferStats()
+	remote, prefetch, remoteIndexes := s.remoteTotals()
 	// Prometheus text exposition on request (?format=prom or an Accept
 	// header asking for text/plain); the JSON form stays the default.
 	if r.URL.Query().Get("format") == "prom" ||
 		(r.URL.Query().Get("format") == "" && strings.Contains(r.Header.Get("Accept"), "text/plain")) {
-		s.writePromMetrics(w, snap, pool)
+		s.writePromMetrics(w, snap, pool, remote, prefetch, remoteIndexes)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"sched":                  snap,
 		"sched_buffer_hit_ratio": snap.BufferHitRatio(),
 		"pool": map[string]any{
-			"accesses":  pool.Accesses,
-			"hits":      pool.Hits,
-			"misses":    pool.Misses,
-			"evictions": pool.Evictions,
-			"hit_ratio": pool.HitRatio(),
-			"shards":    s.sched.Engine().BufferShards(),
+			"accesses":      pool.Accesses,
+			"hits":          pool.Hits,
+			"misses":        pool.Misses,
+			"evictions":     pool.Evictions,
+			"prefetch_hits": pool.PrefetchHits,
+			"hit_ratio":     pool.HitRatio(),
+			"shards":        s.sched.Engine().BufferShards(),
+		},
+		"remote": map[string]any{
+			"indexes":                 remoteIndexes,
+			"fetches":                 remote.Fetches,
+			"retries":                 remote.Retries,
+			"bytes_fetched":           remote.BytesFetched,
+			"checksum_failures":       remote.ChecksumFailures,
+			"prefetch_offered":        prefetch.Offered,
+			"prefetch_loaded":         prefetch.Loaded,
+			"prefetch_dropped":        prefetch.Dropped,
+			"prefetch_already_cached": prefetch.AlreadyCached,
+			"prefetch_failed":         prefetch.Failed,
 		},
 		"requests": s.requests.snapshot(),
 	})
@@ -352,7 +428,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // format (version 0.0.4): gauges for the instantaneous scheduler state,
 // counters for everything cumulative, per-endpoint request totals as one
 // labeled family.
-func (s *Server) writePromMetrics(w http.ResponseWriter, snap sched.Snapshot, pool buffer.Stats) {
+func (s *Server) writePromMetrics(w http.ResponseWriter, snap sched.Snapshot, pool buffer.Stats,
+	remote rcj.RemoteStats, prefetch rcj.PrefetchStats, remoteIndexes int) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	b2i := func(v bool) int {
@@ -383,10 +460,21 @@ func (s *Server) writePromMetrics(w http.ResponseWriter, snap sched.Snapshot, po
 		{"rcjd_pool_hits_total", "Shared pool hits.", "counter", pool.Hits},
 		{"rcjd_pool_misses_total", "Shared pool misses.", "counter", pool.Misses},
 		{"rcjd_pool_evictions_total", "Shared pool evictions.", "counter", pool.Evictions},
+		{"rcjd_pool_prefetch_hits_total", "Pool hits served by async readahead.", "counter", pool.PrefetchHits},
 		{"rcjd_pool_shards", "LRU shards in the shared pool.", "gauge", int64(s.sched.Engine().BufferShards())},
+		{"rcjd_remote_indexes", "Registered indexes served over HTTP ranges.", "gauge", int64(remoteIndexes)},
+		{"rcjd_remote_fetches_total", "HTTP range requests issued by remote indexes.", "counter", remote.Fetches},
+		{"rcjd_remote_retries_total", "Remote fetches re-attempted after transient failures.", "counter", remote.Retries},
+		{"rcjd_remote_bytes_fetched_total", "Body bytes fetched by remote indexes.", "counter", remote.BytesFetched},
+		{"rcjd_remote_checksum_failures_total", "Fetched pages failing per-page CRC verification.", "counter", remote.ChecksumFailures},
+		{"rcjd_prefetch_offered_total", "Pages offered to async readahead.", "counter", prefetch.Offered},
+		{"rcjd_prefetch_loaded_total", "Pages loaded ahead of demand.", "counter", prefetch.Loaded},
+		{"rcjd_prefetch_dropped_total", "Readahead offers shed under queue pressure.", "counter", prefetch.Dropped},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.value)
 	}
+	writePromHistogram(w, "rcjd_sched_queue_wait_seconds", "Admission wait of admitted requests.", snap.QueueWait)
+	writePromHistogram(w, "rcjd_sched_join_latency_seconds", "Execution time of terminated joins (queue wait excluded).", snap.JoinLatency)
 	reqs := s.requests.snapshot()
 	endpoints := make([]string, 0, len(reqs))
 	for k := range reqs {
@@ -397,6 +485,24 @@ func (s *Server) writePromMetrics(w http.ResponseWriter, snap sched.Snapshot, po
 	for _, ep := range endpoints {
 		fmt.Fprintf(w, "rcjd_requests_total{endpoint=%q} %d\n", ep, reqs[ep])
 	}
+}
+
+// writePromHistogram renders one sched.HistogramSnapshot in the Prometheus
+// histogram convention: cumulative le-bucket counts ending at +Inf, then the
+// _sum and _count pair.
+func writePromHistogram(w http.ResponseWriter, name, help string, h sched.HistogramSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, bound := range h.BoundsSeconds {
+		cum += h.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	// +Inf and _count derive from the same bucket series as the finite
+	// buckets, so the exposition is monotone by construction even if a
+	// recording raced the snapshot.
+	cum += h.Counts[len(h.BoundsSeconds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.SumSeconds, name, cum)
 }
 
 // joinRequest is the POST /join payload. Exactly one of {"q"} or

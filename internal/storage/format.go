@@ -19,15 +19,23 @@ import (
 //	                      is zero
 //	blocks 1..NumPages    the pager's pages, verbatim, page i at byte
 //	                      offset PageSize·(1+i)
+//	trailer (v2 only)     the page checksum table: one CRC-32 (IEEE) per
+//	                      page, little endian, followed by a CRC-32 of the
+//	                      table bytes themselves, at byte offset
+//	                      PageSize·(1+NumPages)
 //
 // The superblock is versioned and checksummed so a reopening process can
 // reject foreign, corrupt, or truncated files with a typed error before it
-// ever walks a tree page.
+// ever walks a tree page. Version 2 additionally checksums every page, which
+// is what lets a pager serve the file over an unreliable substrate (remote
+// HTTP ranges, flaky disks): each fetched page is verified against the table
+// before a single tree entry is decoded. Version 1 files (no table) still
+// open read-only; the writer emits version 2.
 //
 // Superblock layout (little endian):
 //
 //	offset  0: [8]byte  magic "RCJXIDX\x00"
-//	offset  8: uint16   format version (currently 1)
+//	offset  8: uint16   format version (1 or 2)
 //	offset 10: uint16   reserved (zero)
 //	offset 12: uint32   page size in bytes
 //	offset 16: uint32   number of pages following the header block
@@ -39,8 +47,13 @@ import (
 const (
 	// SuperblockSize is the encoded size of a Superblock in bytes.
 	SuperblockSize = 72
-	// FormatVersion is the current index file format version.
-	FormatVersion = 1
+	// FormatVersion1 is the original format: superblock + raw page image,
+	// no per-page checksums. Still readable.
+	FormatVersion1 = 1
+	// FormatVersion2 adds the per-page CRC-32 table trailer.
+	FormatVersion2 = 2
+	// FormatVersion is the version the writer emits.
+	FormatVersion = FormatVersion2
 )
 
 // Magic identifies an index file; it is the first 8 bytes of the superblock.
@@ -54,8 +67,10 @@ var (
 	ErrBadMagic = errors.New("storage: bad index file magic")
 	// ErrBadVersion means the superblock's format version is unsupported.
 	ErrBadVersion = errors.New("storage: unsupported index format version")
-	// ErrBadChecksum means the superblock's CRC does not match its contents.
-	ErrBadChecksum = errors.New("storage: superblock checksum mismatch")
+	// ErrBadChecksum means a CRC does not match its contents: the
+	// superblock's, the page table's, or — wrapped with the offending page
+	// id — an individual page's.
+	ErrBadChecksum = errors.New("storage: checksum mismatch")
 	// ErrTruncated means the file is shorter than its superblock promises.
 	ErrTruncated = errors.New("storage: truncated index file")
 	// ErrCorrupt means a superblock field is internally inconsistent.
@@ -68,6 +83,7 @@ var (
 // Superblock is the tree-metadata block at the head of an index file: enough
 // to reattach an R-tree to the page image without touching a single point.
 type Superblock struct {
+	Version  int        // format version; 0 encodes as FormatVersion
 	PageSize int        // fixed page size in bytes
 	NumPages int        // pages following the header block
 	Root     PageID     // page id of the tree root (InvalidPageID when empty)
@@ -76,9 +92,22 @@ type Superblock struct {
 	MBR      [4]float64 // dataset bounding rect: minX, minY, maxX, maxY
 }
 
+// effectiveVersion resolves the zero Version to the writer's current format.
+func (sb Superblock) effectiveVersion() int {
+	if sb.Version == 0 {
+		return FormatVersion
+	}
+	return sb.Version
+}
+
+// hasPageTable reports whether this superblock's format version carries the
+// per-page checksum table trailer.
+func (sb Superblock) hasPageTable() bool { return sb.effectiveVersion() >= FormatVersion2 }
+
 // EncodeSuperblock serializes sb into buf, which must be at least
 // SuperblockSize bytes. It fails on a superblock that Validate rejects, so
-// every encoded superblock decodes cleanly.
+// every encoded superblock decodes cleanly. A zero Version encodes as the
+// current FormatVersion.
 func EncodeSuperblock(sb Superblock, buf []byte) error {
 	if len(buf) < SuperblockSize {
 		return fmt.Errorf("storage: superblock buffer %d smaller than %d", len(buf), SuperblockSize)
@@ -87,7 +116,7 @@ func EncodeSuperblock(sb Superblock, buf []byte) error {
 		return err
 	}
 	copy(buf[0:8], Magic[:])
-	binary.LittleEndian.PutUint16(buf[8:], FormatVersion)
+	binary.LittleEndian.PutUint16(buf[8:], uint16(sb.effectiveVersion()))
 	binary.LittleEndian.PutUint16(buf[10:], 0)
 	binary.LittleEndian.PutUint32(buf[12:], uint32(sb.PageSize))
 	binary.LittleEndian.PutUint32(buf[16:], uint32(sb.NumPages))
@@ -102,7 +131,8 @@ func EncodeSuperblock(sb Superblock, buf []byte) error {
 }
 
 // DecodeSuperblock parses and validates a superblock. Failures carry one of
-// the typed errors above.
+// the typed errors above. Both format versions decode; Version records which
+// one the file carries.
 func DecodeSuperblock(buf []byte) (Superblock, error) {
 	if len(buf) < SuperblockSize {
 		return Superblock{}, fmt.Errorf("%w: %d bytes, superblock needs %d", ErrTruncated, len(buf), SuperblockSize)
@@ -110,17 +140,19 @@ func DecodeSuperblock(buf []byte) (Superblock, error) {
 	if [8]byte(buf[0:8]) != Magic {
 		return Superblock{}, fmt.Errorf("%w: %q", ErrBadMagic, buf[0:8])
 	}
-	if v := binary.LittleEndian.Uint16(buf[8:]); v != FormatVersion {
-		return Superblock{}, fmt.Errorf("%w: %d (supported: %d)", ErrBadVersion, v, FormatVersion)
+	v := binary.LittleEndian.Uint16(buf[8:])
+	if v < FormatVersion1 || v > FormatVersion {
+		return Superblock{}, fmt.Errorf("%w: %d (supported: %d..%d)", ErrBadVersion, v, FormatVersion1, FormatVersion)
 	}
 	if r := binary.LittleEndian.Uint16(buf[10:]); r != 0 {
 		return Superblock{}, fmt.Errorf("%w: reserved field %#x", ErrCorrupt, r)
 	}
 	want := binary.LittleEndian.Uint32(buf[68:])
 	if got := crc32.ChecksumIEEE(buf[:68]); got != want {
-		return Superblock{}, fmt.Errorf("%w: computed %08x, stored %08x", ErrBadChecksum, got, want)
+		return Superblock{}, fmt.Errorf("%w: superblock: computed %08x, stored %08x", ErrBadChecksum, got, want)
 	}
 	sb := Superblock{
+		Version:  int(v),
 		PageSize: int(binary.LittleEndian.Uint32(buf[12:])),
 		NumPages: int(binary.LittleEndian.Uint32(buf[16:])),
 		Root:     PageID(binary.LittleEndian.Uint32(buf[20:])),
@@ -136,9 +168,13 @@ func DecodeSuperblock(buf []byte) (Superblock, error) {
 	return sb, nil
 }
 
-// Validate checks the superblock's internal consistency: sane page size, a
-// root that lies inside the page range, and height/count agreement.
+// Validate checks the superblock's internal consistency: supported version,
+// sane page size, a root that lies inside the page range, and height/count
+// agreement.
 func (sb Superblock) Validate() error {
+	if v := sb.effectiveVersion(); v < FormatVersion1 || v > FormatVersion {
+		return fmt.Errorf("%w: %d (supported: %d..%d)", ErrBadVersion, v, FormatVersion1, FormatVersion)
+	}
 	if sb.PageSize < SuperblockSize || sb.PageSize > 1<<24 {
 		return fmt.Errorf("%w: page size %d", ErrCorrupt, sb.PageSize)
 	}
@@ -163,10 +199,96 @@ func (sb Superblock) Validate() error {
 	return nil
 }
 
+// fileSize returns the total byte length a well-formed file with this
+// superblock must have: header block, page image, and (v2) the table trailer.
+func (sb Superblock) fileSize() int64 {
+	n := int64(sb.PageSize) * int64(1+sb.NumPages)
+	if sb.hasPageTable() {
+		n += int64(PageTableSize(sb.NumPages))
+	}
+	return n
+}
+
+// PageChecksum returns the CRC-32 (IEEE) of one page image, the per-page
+// checksum format v2 stores in the page table.
+func PageChecksum(page []byte) uint32 { return crc32.ChecksumIEEE(page) }
+
+// PageTableSize returns the encoded size in bytes of a page checksum table
+// covering numPages pages: one CRC-32 per page plus the table's own CRC-32.
+func PageTableSize(numPages int) int { return 4*numPages + 4 }
+
+// EncodePageTable serializes the per-page checksum table into buf, which
+// must be at least PageTableSize(len(table)) bytes: each page's CRC-32
+// little endian, then a CRC-32 of those bytes so a torn or corrupted table
+// is itself detectable.
+func EncodePageTable(table []uint32, buf []byte) error {
+	need := PageTableSize(len(table))
+	if len(buf) < need {
+		return fmt.Errorf("storage: page table buffer %d smaller than %d", len(buf), need)
+	}
+	for i, crc := range table {
+		binary.LittleEndian.PutUint32(buf[4*i:], crc)
+	}
+	binary.LittleEndian.PutUint32(buf[4*len(table):], crc32.ChecksumIEEE(buf[:4*len(table)]))
+	return nil
+}
+
+// DecodePageTable parses and validates a page checksum table covering
+// numPages pages. Failures carry ErrTruncated (short buffer) or
+// ErrBadChecksum (the table's own CRC does not match).
+func DecodePageTable(buf []byte, numPages int) ([]uint32, error) {
+	if numPages < 0 || numPages > int(InvalidPageID) {
+		return nil, fmt.Errorf("%w: page count %d", ErrCorrupt, numPages)
+	}
+	need := PageTableSize(numPages)
+	if len(buf) < need {
+		return nil, fmt.Errorf("%w: %d bytes, page table needs %d", ErrTruncated, len(buf), need)
+	}
+	want := binary.LittleEndian.Uint32(buf[4*numPages:])
+	if got := crc32.ChecksumIEEE(buf[:4*numPages]); got != want {
+		return nil, fmt.Errorf("%w: page table: computed %08x, stored %08x", ErrBadChecksum, got, want)
+	}
+	table := make([]uint32, numPages)
+	for i := range table {
+		table[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	return table, nil
+}
+
+// VerifyPage checks one fetched page image against the checksum table,
+// naming the offending page in the returned ErrBadChecksum.
+func VerifyPage(table []uint32, id PageID, page []byte) error {
+	if int(id) >= len(table) {
+		return fmt.Errorf("%w: verify %d of %d", ErrPageOutOfRange, id, len(table))
+	}
+	if got := PageChecksum(page); got != table[id] {
+		return fmt.Errorf("%w: page %d: computed %08x, stored %08x", ErrBadChecksum, id, got, table[id])
+	}
+	return nil
+}
+
+// checksumPager wraps a read-only Pager so every ReadPage is verified
+// against the v2 page checksum table before the caller sees a byte.
+type checksumPager struct {
+	Pager
+	table []uint32
+}
+
+func (c *checksumPager) ReadPage(id PageID, buf []byte) error {
+	if err := c.Pager.ReadPage(id, buf); err != nil {
+		return err
+	}
+	return VerifyPage(c.table, id, buf[:c.Pager.PageSize()])
+}
+
 // WriteIndexFile durably writes src's pages to path in the index file
-// format, prefixed by sb. sb must describe src exactly (page size and page
-// count). The file is written to a temp sibling and renamed into place, so a
-// crashed Save never leaves a half-written index at path.
+// format, prefixed by sb and (format v2, the default) followed by the page
+// checksum table. sb must describe src exactly (page size and page count);
+// sb.Version selects the emitted format — zero means the current
+// FormatVersion, FormatVersion1 writes the legacy table-less layout (kept
+// for compatibility fixtures). The file is written to a temp sibling and
+// renamed into place, so a crashed Save never leaves a half-written index
+// at path.
 func WriteIndexFile(path string, sb Superblock, src Pager) error {
 	if sb.PageSize != src.PageSize() {
 		return fmt.Errorf("storage: superblock page size %d != pager page size %d", sb.PageSize, src.PageSize())
@@ -194,12 +316,28 @@ func WriteIndexFile(path string, sb Superblock, src Pager) error {
 		if _, err := w.Write(header); err != nil {
 			return err
 		}
+		var table []uint32
+		if sb.hasPageTable() {
+			table = make([]uint32, sb.NumPages)
+		}
 		buf := make([]byte, sb.PageSize)
 		for i := 0; i < sb.NumPages; i++ {
 			if err := src.ReadPage(PageID(i), buf); err != nil {
 				return err
 			}
+			if table != nil {
+				table[i] = PageChecksum(buf)
+			}
 			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+		if table != nil {
+			tbuf := make([]byte, PageTableSize(sb.NumPages))
+			if err := EncodePageTable(table, tbuf); err != nil {
+				return err
+			}
+			if _, err := w.Write(tbuf); err != nil {
 				return err
 			}
 		}
@@ -239,7 +377,8 @@ func ReadSuperblockFile(path string) (Superblock, error) {
 
 // SniffIndexFile reports whether the file at path begins with the index
 // magic (i.e. looks like an index file rather than, say, a CSV). It reads at
-// most 8 bytes and never fails on short or unreadable files.
+// most 8 bytes and never fails on short or unreadable files. Both format
+// versions share the magic.
 func SniffIndexFile(path string) bool {
 	f, err := os.Open(path)
 	if err != nil {
@@ -255,7 +394,10 @@ func SniffIndexFile(path string) bool {
 
 // OpenIndexFile validates the index file at path and returns a read-only
 // Pager over its pages, materialized by the chosen backend, plus the decoded
-// superblock. Validation failures carry the typed errors above.
+// superblock. For format v2 files every page read through the returned pager
+// is verified against the page checksum table (the mem backend verifies the
+// whole image once at load). Validation failures carry the typed errors
+// above.
 func OpenIndexFile(path string, backend Backend) (Pager, Superblock, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -276,38 +418,60 @@ func OpenIndexFile(path string, backend Backend) (Pager, Superblock, error) {
 		f.Close()
 		return nil, Superblock{}, fmt.Errorf("storage: stat index file: %w", err)
 	}
-	need := int64(sb.PageSize) * int64(1+sb.NumPages)
-	if info.Size() < need {
+	if need := sb.fileSize(); info.Size() < need {
 		f.Close()
 		return nil, Superblock{}, fmt.Errorf("%w: %d bytes, superblock promises %d", ErrTruncated, info.Size(), need)
+	}
+	var table []uint32
+	if sb.hasPageTable() {
+		tbuf := make([]byte, PageTableSize(sb.NumPages))
+		if _, err := f.ReadAt(tbuf, int64(sb.PageSize)*int64(1+sb.NumPages)); err != nil {
+			f.Close()
+			return nil, Superblock{}, fmt.Errorf("%w: page table: %v", ErrTruncated, err)
+		}
+		if table, err = DecodePageTable(tbuf, sb.NumPages); err != nil {
+			f.Close()
+			return nil, Superblock{}, err
+		}
 	}
 	offset := int64(sb.PageSize)
 	switch backend {
 	case BackendMem:
-		pager, err := readMemPager(f, sb, offset)
+		pager, err := readMemPager(f, sb, offset, table)
 		f.Close()
 		if err != nil {
 			return nil, Superblock{}, err
 		}
 		return pager, sb, nil
 	case BackendFile:
-		return openedFilePager(f, sb.PageSize, offset, sb.NumPages), sb, nil
+		var pager Pager = openedFilePager(f, sb.PageSize, offset, sb.NumPages)
+		if table != nil {
+			pager = &checksumPager{Pager: pager, table: table}
+		}
+		return pager, sb, nil
 	case BackendMmap:
 		pager, err := newMmapPager(f, sb.PageSize, offset, sb.NumPages)
 		f.Close()
 		if err != nil {
 			return nil, Superblock{}, err
 		}
+		if table != nil {
+			pager = &checksumPager{Pager: pager, table: table}
+		}
 		return pager, sb, nil
+	case BackendHTTP:
+		f.Close()
+		return nil, Superblock{}, fmt.Errorf("storage: http backend serves URLs, not local files (use OpenIndexURL)")
 	default:
 		f.Close()
 		return nil, Superblock{}, fmt.Errorf("storage: unknown backend %d", backend)
 	}
 }
 
-// readMemPager loads every page of the open index file into a MemPager, so
-// subsequent reads never touch the file again.
-func readMemPager(f *os.File, sb Superblock, offset int64) (*MemPager, error) {
+// readMemPager loads every page of the open index file into a MemPager — so
+// subsequent reads never touch the file again — verifying each page against
+// the v2 checksum table when one is present.
+func readMemPager(f *os.File, sb Superblock, offset int64, table []uint32) (*MemPager, error) {
 	if _, err := f.Seek(offset, io.SeekStart); err != nil {
 		return nil, fmt.Errorf("storage: seek index pages: %w", err)
 	}
@@ -317,6 +481,11 @@ func readMemPager(f *os.File, sb Superblock, offset int64) (*MemPager, error) {
 		pages[i] = make([]byte, sb.PageSize)
 		if _, err := io.ReadFull(r, pages[i]); err != nil {
 			return nil, fmt.Errorf("%w: page %d: %v", ErrTruncated, i, err)
+		}
+		if table != nil {
+			if err := VerifyPage(table, PageID(i), pages[i]); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return &MemPager{pageSize: sb.PageSize, pages: pages}, nil
@@ -335,6 +504,9 @@ const (
 	// BackendMmap maps the file read-only and copies pages out of the
 	// mapping: bounded memory, page-cache-speed faults, no read syscalls.
 	BackendMmap
+	// BackendHTTP fetches pages over HTTP range requests from a URL:
+	// serving a shared index without a shared filesystem. See OpenIndexURL.
+	BackendHTTP
 )
 
 // String returns the flag-style name of the backend.
@@ -346,12 +518,15 @@ func (b Backend) String() string {
 		return "file"
 	case BackendMmap:
 		return "mmap"
+	case BackendHTTP:
+		return "http"
 	default:
 		return fmt.Sprintf("backend(%d)", int(b))
 	}
 }
 
-// ParseBackend parses a flag-style backend name ("mem", "file", "mmap").
+// ParseBackend parses a flag-style backend name ("mem", "file", "mmap",
+// "http").
 func ParseBackend(s string) (Backend, error) {
 	switch s {
 	case "mem", "memory":
@@ -360,7 +535,9 @@ func ParseBackend(s string) (Backend, error) {
 		return BackendFile, nil
 	case "mmap":
 		return BackendMmap, nil
+	case "http", "https":
+		return BackendHTTP, nil
 	default:
-		return 0, fmt.Errorf("storage: unknown backend %q (want mem, file, or mmap)", s)
+		return 0, fmt.Errorf("storage: unknown backend %q (want mem, file, mmap, or http)", s)
 	}
 }

@@ -7,30 +7,37 @@ import (
 
 // FuzzDecodeSuperblock throws arbitrary bytes at the superblock decoder: it
 // must never panic, and anything it accepts must re-encode to the identical
-// bytes (the format has no redundant encodings).
+// bytes (the format has no redundant encodings). Seeds cover both format
+// versions so the corpus keeps exercising v1 and v2 decoding.
 func FuzzDecodeSuperblock(f *testing.F) {
-	valid := make([]byte, SuperblockSize)
-	if err := EncodeSuperblock(Superblock{
-		PageSize: DefaultPageSize,
-		NumPages: 9,
-		Root:     3,
-		Height:   2,
-		Count:    1000,
-		MBR:      [4]float64{0, 0, 10000, 10000},
-	}, valid); err != nil {
-		f.Fatal(err)
+	for _, version := range []int{FormatVersion1, FormatVersion2} {
+		valid := make([]byte, SuperblockSize)
+		if err := EncodeSuperblock(Superblock{
+			Version:  version,
+			PageSize: DefaultPageSize,
+			NumPages: 9,
+			Root:     3,
+			Height:   2,
+			Count:    1000,
+			MBR:      [4]float64{0, 0, 10000, 10000},
+		}, valid); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(valid)
+		f.Add(valid[:SuperblockSize/2])
+		corrupt := append([]byte(nil), valid...)
+		corrupt[20] ^= 0xFF
+		f.Add(corrupt)
 	}
-	f.Add(valid)
 	f.Add([]byte{})
-	f.Add(valid[:SuperblockSize/2])
-	corrupt := append([]byte(nil), valid...)
-	corrupt[20] ^= 0xFF
-	f.Add(corrupt)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sb, err := DecodeSuperblock(data)
 		if err != nil {
 			return
+		}
+		if sb.Version != FormatVersion1 && sb.Version != FormatVersion2 {
+			t.Fatalf("decoder accepted unknown version %d", sb.Version)
 		}
 		if err := sb.Validate(); err != nil {
 			t.Fatalf("decoder accepted a superblock Validate rejects: %v", err)
@@ -41,6 +48,51 @@ func FuzzDecodeSuperblock(f *testing.F) {
 		}
 		if !bytes.Equal(out, data[:SuperblockSize]) {
 			t.Fatalf("re-encode differs:\n got %x\nwant %x", out, data[:SuperblockSize])
+		}
+	})
+}
+
+// FuzzDecodePageTable throws arbitrary bytes and page counts at the v2 page
+// table decoder: no panics, and any accepted table must re-encode to the
+// identical bytes.
+func FuzzDecodePageTable(f *testing.F) {
+	valid := make([]byte, PageTableSize(3))
+	if err := EncodePageTable([]uint32{1, 0xDEADBEEF, 42}, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid, 3)
+	f.Add(valid, 4)     // too short for the claimed count
+	f.Add(valid[:5], 3) // truncated
+	f.Add([]byte{}, 0)  // empty table still carries its own CRC
+	f.Add(valid, -1)    // insane count
+	f.Add(valid, 1<<30) // absurd count must not allocate wildly
+	corrupt := append([]byte(nil), valid...)
+	corrupt[2] ^= 0x01
+	f.Add(corrupt, 3)
+
+	f.Fuzz(func(t *testing.T, data []byte, numPages int) {
+		// Cap the claimed count so a fuzzed giant value cannot make the
+		// harness itself allocate gigabytes on the re-encode path; the
+		// decoder must reject anything longer than its buffer regardless.
+		if numPages > 1<<20 {
+			if _, err := DecodePageTable(data, numPages); err == nil && len(data) < PageTableSize(numPages) {
+				t.Fatal("decoder accepted a table shorter than its count")
+			}
+			return
+		}
+		table, err := DecodePageTable(data, numPages)
+		if err != nil {
+			return
+		}
+		if len(table) != numPages {
+			t.Fatalf("accepted table has %d entries, want %d", len(table), numPages)
+		}
+		out := make([]byte, PageTableSize(numPages))
+		if err := EncodePageTable(table, out); err != nil {
+			t.Fatalf("re-encode of accepted table failed: %v", err)
+		}
+		if !bytes.Equal(out, data[:PageTableSize(numPages)]) {
+			t.Fatalf("re-encode differs:\n got %x\nwant %x", out, data[:PageTableSize(numPages)])
 		}
 	})
 }

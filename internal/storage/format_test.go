@@ -4,14 +4,17 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func testSuperblock() Superblock {
 	return Superblock{
+		Version:  FormatVersion,
 		PageSize: DefaultPageSize,
 		NumPages: 7,
 		Root:     6,
@@ -84,16 +87,201 @@ func TestSuperblockCorruption(t *testing.T) {
 	}
 }
 
+func TestPageTableRoundTrip(t *testing.T) {
+	table := []uint32{0, 0xDEADBEEF, 42, 0xFFFFFFFF}
+	buf := make([]byte, PageTableSize(len(table)))
+	if err := EncodePageTable(table, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePageTable(buf, len(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range table {
+		if got[i] != table[i] {
+			t.Fatalf("entry %d = %08x, want %08x", i, got[i], table[i])
+		}
+	}
+	// Empty tables round-trip too (an empty index still carries a sealed
+	// trailer).
+	empty := make([]byte, PageTableSize(0))
+	if err := EncodePageTable(nil, empty); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePageTable(empty, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageTableCorruption(t *testing.T) {
+	table := []uint32{1, 2, 3}
+	buf := make([]byte, PageTableSize(len(table)))
+	if err := EncodePageTable(table, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePageTable(buf[:len(buf)-1], len(table)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated table = %v, want ErrTruncated", err)
+	}
+	bad := append([]byte(nil), buf...)
+	bad[5] ^= 0x10
+	if _, err := DecodePageTable(bad, len(table)); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("corrupt table = %v, want ErrBadChecksum", err)
+	}
+	if _, err := DecodePageTable(buf, -1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("negative page count = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestV2PageBitFlips is the per-page corruption table: flip one bit inside
+// each page of a v2 file and check every backend reports ErrBadChecksum
+// naming exactly the offending page — at open for the eagerly-loading mem
+// backend, at first read for the lazy file/mmap backends.
+func TestV2PageBitFlips(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.rcjx")
+	want := writeTestIndexFile(t, path, 4)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := []Backend{BackendMem, BackendFile}
+	if MmapSupported {
+		backends = append(backends, BackendMmap)
+	}
+	for page := 0; page < want.NumPages; page++ {
+		for _, be := range backends {
+			t.Run(fmt.Sprintf("page%d_%s", page, be), func(t *testing.T) {
+				b := append([]byte(nil), pristine...)
+				b[want.PageSize*(1+page)+123] ^= 0x04 // one flipped bit mid-page
+				damaged := filepath.Join(t.TempDir(), "damaged.rcjx")
+				if err := os.WriteFile(damaged, b, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				pager, _, err := OpenIndexFile(damaged, be)
+				if be == BackendMem {
+					if !errors.Is(err, ErrBadChecksum) {
+						t.Fatalf("mem open = %v, want ErrBadChecksum", err)
+					}
+					if !strings.Contains(err.Error(), fmt.Sprintf("page %d", page)) {
+						t.Fatalf("error does not name page %d: %v", page, err)
+					}
+					return
+				}
+				if err != nil {
+					t.Fatalf("lazy open = %v", err)
+				}
+				defer pager.Close()
+				buf := make([]byte, want.PageSize)
+				// Undamaged pages still read clean.
+				for i := 0; i < want.NumPages; i++ {
+					err := pager.ReadPage(PageID(i), buf)
+					if i == page {
+						if !errors.Is(err, ErrBadChecksum) {
+							t.Fatalf("read damaged page = %v, want ErrBadChecksum", err)
+						}
+						if !strings.Contains(err.Error(), fmt.Sprintf("page %d", page)) {
+							t.Fatalf("error does not name page %d: %v", page, err)
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatalf("read clean page %d: %v", i, err)
+					}
+				}
+			})
+		}
+	}
+	// A flipped bit in the table trailer itself fails the open everywhere.
+	t.Run("table trailer", func(t *testing.T) {
+		b := append([]byte(nil), pristine...)
+		b[want.PageSize*(1+want.NumPages)+2] ^= 0x40
+		damaged := filepath.Join(t.TempDir(), "damaged.rcjx")
+		if err := os.WriteFile(damaged, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, be := range backends {
+			if _, _, err := OpenIndexFile(damaged, be); !errors.Is(err, ErrBadChecksum) {
+				t.Fatalf("%s open with corrupt table = %v, want ErrBadChecksum", be, err)
+			}
+		}
+	})
+}
+
+// TestV1StillOpens writes the legacy table-less format and checks it opens
+// read-only on every backend — backward compatibility with pre-v2 indexes.
+func TestV1StillOpens(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.rcjx")
+	src := NewMemPager(DefaultPageSize)
+	const numPages = 5
+	for i := 0; i < numPages; i++ {
+		id, err := src.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := src.WritePage(id, bytes.Repeat([]byte{byte(i + 1)}, DefaultPageSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sb := Superblock{
+		Version:  FormatVersion1,
+		PageSize: DefaultPageSize,
+		NumPages: numPages,
+		Root:     numPages - 1,
+		Height:   1,
+		Count:    numPages * 3,
+		MBR:      [4]float64{0, 0, 1, 1},
+	}
+	if err := WriteIndexFile(path, sb, src); err != nil {
+		t.Fatal(err)
+	}
+	// The v1 layout has no trailer: the file ends with the last page.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(DefaultPageSize) * (1 + numPages); info.Size() != want {
+		t.Fatalf("v1 file is %d bytes, want exactly %d (no trailer)", info.Size(), want)
+	}
+	if !SniffIndexFile(path) {
+		t.Fatal("SniffIndexFile(v1) = false")
+	}
+	backends := []Backend{BackendMem, BackendFile}
+	if MmapSupported {
+		backends = append(backends, BackendMmap)
+	}
+	for _, be := range backends {
+		t.Run(be.String(), func(t *testing.T) {
+			pager, got, err := OpenIndexFile(path, be)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pager.Close()
+			if got != sb {
+				t.Fatalf("superblock %+v, want %+v", got, sb)
+			}
+			buf := make([]byte, DefaultPageSize)
+			for i := 0; i < numPages; i++ {
+				if err := pager.ReadPage(PageID(i), buf); err != nil {
+					t.Fatal(err)
+				}
+				if buf[0] != byte(i+1) {
+					t.Fatalf("page %d contents differ", i)
+				}
+			}
+		})
+	}
+}
+
 func TestParseBackend(t *testing.T) {
 	for _, tc := range []struct {
 		in   string
 		want Backend
-	}{{"mem", BackendMem}, {"memory", BackendMem}, {"file", BackendFile}, {"mmap", BackendMmap}} {
+	}{{"mem", BackendMem}, {"memory", BackendMem}, {"file", BackendFile}, {"mmap", BackendMmap}, {"http", BackendHTTP}, {"https", BackendHTTP}} {
 		got, err := ParseBackend(tc.in)
 		if err != nil || got != tc.want {
 			t.Fatalf("ParseBackend(%q) = %v, %v", tc.in, got, err)
 		}
-		if tc.in != "memory" && got.String() != tc.in {
+		if tc.in != "memory" && tc.in != "https" && got.String() != tc.in {
 			t.Fatalf("String() = %q, want %q", got.String(), tc.in)
 		}
 	}
@@ -128,6 +316,7 @@ func writeTestIndexFile(t *testing.T, path string, numPages int) Superblock {
 	if err := WriteIndexFile(path, sb, src); err != nil {
 		t.Fatal(err)
 	}
+	sb.Version = FormatVersion // the writer emits the current version
 	return sb
 }
 

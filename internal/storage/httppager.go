@@ -1,0 +1,394 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ErrRemote is the typed failure of the HTTP pager: the server answered, but
+// not with the bytes asked for (unexpected status, missing range support,
+// short body). Transport-level errors and retryable statuses are retried
+// with capped backoff first; ErrRemote surfaces only once retries are
+// exhausted or the failure is permanent.
+var ErrRemote = errors.New("storage: remote index fetch failed")
+
+// IsIndexURL reports whether src names a remote index (an http:// or
+// https:// URL) rather than a local file path.
+func IsIndexURL(src string) bool {
+	return strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://")
+}
+
+// HTTPPagerConfig tunes the remote pager. The zero value selects sane
+// serving defaults; tests shrink the backoff to keep fault-injection runs
+// fast.
+type HTTPPagerConfig struct {
+	// Client issues the range requests; nil builds a private client with a
+	// 30s per-request timeout.
+	Client *http.Client
+	// MaxRetries bounds how many times one fetch is re-attempted after a
+	// transient failure (timeout, 5xx, short read, per-page checksum
+	// mismatch). Total attempts = 1 + MaxRetries. Zero means the default
+	// (3); negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the sleep before the first retry; it doubles per
+	// attempt. Zero means the default (50ms).
+	RetryBackoff time.Duration
+	// MaxBackoff caps the doubling. Zero means the default (1s).
+	MaxBackoff time.Duration
+}
+
+func (c HTTPPagerConfig) withDefaults() HTTPPagerConfig {
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	return c
+}
+
+// RemoteStats are cumulative transfer counters of an HTTPPager, the
+// substrate-level story behind the buffer pool's fault counts: how many
+// round trips the faults cost, how many had to be retried, and how many
+// bytes crossed the wire.
+type RemoteStats struct {
+	// Fetches counts HTTP requests issued (including retries).
+	Fetches int64
+	// Retries counts re-attempts after a transient failure.
+	Retries int64
+	// BytesFetched counts body bytes read from successful responses.
+	BytesFetched int64
+	// ChecksumFailures counts fetched pages that failed per-page CRC
+	// verification (each one is retried; a persistent mismatch surfaces as
+	// ErrBadChecksum).
+	ChecksumFailures int64
+}
+
+// Add accumulates o into s, field by field — the one place the counter
+// arithmetic lives, so a future counter cannot be silently dropped from an
+// aggregation site.
+func (s *RemoteStats) Add(o RemoteStats) {
+	s.Fetches += o.Fetches
+	s.Retries += o.Retries
+	s.BytesFetched += o.BytesFetched
+	s.ChecksumFailures += o.ChecksumFailures
+}
+
+// Sub returns s - o, field by field (the delta of two snapshots).
+func (s RemoteStats) Sub(o RemoteStats) RemoteStats {
+	return RemoteStats{
+		Fetches:          s.Fetches - o.Fetches,
+		Retries:          s.Retries - o.Retries,
+		BytesFetched:     s.BytesFetched - o.BytesFetched,
+		ChecksumFailures: s.ChecksumFailures - o.ChecksumFailures,
+	}
+}
+
+// HTTPPager is a read-only Pager over an index file served by any HTTP
+// server that supports range requests (GET with a Range header): page i is
+// one ranged fetch of PageSize bytes at offset PageSize·(1+i). Every fetched
+// page of a format-v2 index is verified against the per-page checksum table
+// before it is returned, so a corrupting transport cannot hand the tree a
+// bad node; transient failures (timeouts, 5xx, short reads, checksum
+// mismatches) are retried with capped exponential backoff. Construct with
+// OpenIndexURL. Safe for concurrent use.
+type HTTPPager struct {
+	url      string
+	cfg      HTTPPagerConfig
+	ownedCli bool // Close releases idle connections only for a private client
+	pageSize int
+	numPages int
+	table    []uint32 // per-page CRCs; nil for v1 files (unverified pages)
+
+	// ctx cancels every in-flight and future fetch when the pager closes,
+	// so Close (and the prefetcher drain above it) never waits out a retry
+	// budget against a hung origin.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	reads        atomic.Int64
+	fetches      atomic.Int64
+	retries      atomic.Int64
+	bytesFetched atomic.Int64
+	checksumFail atomic.Int64
+	closed       atomic.Bool
+}
+
+// OpenIndexURL validates the index file served at url and returns a
+// read-only remote Pager over its pages plus the decoded superblock. The
+// superblock and (format v2) the page checksum table are fetched and
+// verified up front; pages fetch lazily, one range request per buffer-pool
+// miss. Validation failures carry the same typed errors as OpenIndexFile.
+//
+// Format v1 files open too, but carry no page table, so individual page
+// fetches cannot be verified — prefer re-saving as v2 before serving over a
+// network.
+func OpenIndexURL(url string, cfg HTTPPagerConfig) (*HTTPPager, Superblock, error) {
+	ownedCli := cfg.Client == nil
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &HTTPPager{url: url, cfg: cfg, ownedCli: ownedCli, ctx: ctx, cancel: cancel}
+	// The superblock is self-checksummed, so decoding doubles as transit
+	// verification: a corrupted fetch retries like any transient failure.
+	sbBuf, total, err := p.fetchVerified(0, SuperblockSize, func(b []byte) error {
+		_, err := DecodeSuperblock(b)
+		return err
+	})
+	if err != nil {
+		return nil, Superblock{}, fmt.Errorf("storage: open index url %s: %w", url, err)
+	}
+	sb, err := DecodeSuperblock(sbBuf)
+	if err != nil {
+		return nil, Superblock{}, fmt.Errorf("storage: open index url %s: %w", url, err)
+	}
+	if need := sb.fileSize(); total >= 0 && total < need {
+		return nil, Superblock{}, fmt.Errorf("storage: open index url %s: %w: %d bytes, superblock promises %d", url, ErrTruncated, total, need)
+	}
+	p.pageSize = sb.PageSize
+	p.numPages = sb.NumPages
+	if sb.hasPageTable() {
+		tbuf, _, err := p.fetchVerified(int64(sb.PageSize)*int64(1+sb.NumPages), PageTableSize(sb.NumPages),
+			func(b []byte) error {
+				_, err := DecodePageTable(b, sb.NumPages)
+				return err
+			})
+		if err != nil {
+			return nil, Superblock{}, fmt.Errorf("storage: open index url %s: %w", url, err)
+		}
+		if p.table, err = DecodePageTable(tbuf, sb.NumPages); err != nil {
+			return nil, Superblock{}, fmt.Errorf("storage: open index url %s: %w", url, err)
+		}
+	}
+	return p, sb, nil
+}
+
+// URL returns the index URL the pager serves from.
+func (p *HTTPPager) URL() string { return p.url }
+
+// PageSize returns the page size in bytes.
+func (p *HTTPPager) PageSize() int { return p.pageSize }
+
+// NumPages returns the number of pages the index file carries.
+func (p *HTTPPager) NumPages() int { return p.numPages }
+
+// Verified reports whether fetched pages are checked against a per-page
+// checksum table (true for format v2 indexes).
+func (p *HTTPPager) Verified() bool { return p.table != nil }
+
+// Allocate fails: the remote index is read-only.
+func (p *HTTPPager) Allocate() (PageID, error) {
+	return InvalidPageID, fmt.Errorf("%w: allocate", ErrReadOnly)
+}
+
+// WritePage fails: the remote index is read-only.
+func (p *HTTPPager) WritePage(id PageID, buf []byte) error {
+	return fmt.Errorf("%w: write page %d", ErrReadOnly, id)
+}
+
+// ReadPage fetches page id with one HTTP range request (plus bounded
+// retries), verifies it against the checksum table when present, and copies
+// it into buf.
+func (p *HTTPPager) ReadPage(id PageID, buf []byte) error {
+	if p.closed.Load() {
+		return fmt.Errorf("storage: read page %d: pager is closed", id)
+	}
+	if int(id) >= p.numPages {
+		return fmt.Errorf("%w: read %d of %d", ErrPageOutOfRange, id, p.numPages)
+	}
+	if len(buf) < p.pageSize {
+		return fmt.Errorf("storage: read buffer %d smaller than page size %d", len(buf), p.pageSize)
+	}
+	verify := func([]byte) error { return nil }
+	if p.table != nil {
+		verify = func(b []byte) error {
+			if err := VerifyPage(p.table, id, b); err != nil {
+				p.checksumFail.Add(1)
+				return err
+			}
+			return nil
+		}
+	}
+	page, _, err := p.fetchVerified(int64(p.pageSize)*int64(1+int64(id)), p.pageSize, verify)
+	if err != nil {
+		return fmt.Errorf("storage: read page %d from %s: %w", id, p.url, err)
+	}
+	copy(buf, page)
+	p.reads.Add(1)
+	return nil
+}
+
+// Stats returns cumulative physical I/O counters (reads only; the remote
+// index never writes).
+func (p *HTTPPager) Stats() Stats { return Stats{Reads: p.reads.Load()} }
+
+// Remote returns the pager's transfer counters.
+func (p *HTTPPager) Remote() RemoteStats {
+	return RemoteStats{
+		Fetches:          p.fetches.Load(),
+		Retries:          p.retries.Load(),
+		BytesFetched:     p.bytesFetched.Load(),
+		ChecksumFailures: p.checksumFail.Load(),
+	}
+}
+
+// Close marks the pager closed, aborts in-flight fetches (and their retry
+// loops) via context cancellation, and releases idle connections of a
+// private client. Reads racing Close fail promptly instead of waiting out
+// the retry budget — which is what keeps index unload and daemon drain fast
+// even when the origin has hung.
+func (p *HTTPPager) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	p.cancel()
+	if p.ownedCli {
+		p.cfg.Client.CloseIdleConnections()
+	}
+	return nil
+}
+
+// fetchVerified is the retry loop shared by page and table fetches: fetch
+// the range, run the caller's verification over the body, and re-attempt
+// transient failures — including verification failures, which on a ranged
+// fetch mean transit or server corruption — with capped exponential backoff.
+// The last error (typed: ErrBadChecksum, ErrRemote, or the transport's) is
+// returned once attempts are exhausted.
+func (p *HTTPPager) fetchVerified(off int64, n int, verify func([]byte) error) ([]byte, int64, error) {
+	var lastErr error
+	total := int64(-1)
+	for attempt := 0; attempt <= p.cfg.MaxRetries; attempt++ {
+		if err := p.ctx.Err(); err != nil {
+			// The pager closed mid-retry: stop immediately.
+			if lastErr == nil {
+				lastErr = fmt.Errorf("%w: %v", errPermanent, err)
+			}
+			break
+		}
+		if attempt > 0 {
+			p.retries.Add(1)
+			backoff := p.cfg.RetryBackoff << (attempt - 1)
+			if backoff > p.cfg.MaxBackoff {
+				backoff = p.cfg.MaxBackoff
+			}
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-p.ctx.Done(): // Close aborts the backoff too
+				t.Stop()
+			}
+		}
+		body, tot, err := p.fetchOnce(off, n)
+		if err != nil {
+			lastErr = err
+			if isPermanent(err) {
+				break
+			}
+			continue
+		}
+		total = tot
+		if verr := verify(body); verr != nil {
+			lastErr = verr
+			// Only a checksum mismatch plausibly means transit corruption a
+			// re-fetch can heal. Structural decode failures (bad magic or
+			// version, internal inconsistency) are properties of the object
+			// at rest — pointing the pager at a non-index URL must fail
+			// fast, not burn the retry budget.
+			if errors.Is(verr, ErrBadChecksum) {
+				continue
+			}
+			break
+		}
+		return body, total, nil
+	}
+	return nil, total, lastErr
+}
+
+// fetchOnce issues one ranged GET for [off, off+n) and returns the body and
+// the total object size from Content-Range (-1 when unknown). Failures are
+// classified for the retry loop by isPermanent.
+func (p *HTTPPager) fetchOnce(off int64, n int) ([]byte, int64, error) {
+	p.fetches.Add(1)
+	req, err := http.NewRequestWithContext(p.ctx, http.MethodGet, p.url, nil)
+	if err != nil {
+		return nil, -1, fmt.Errorf("%w: %v", errPermanent, err)
+	}
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+int64(n)-1))
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		if p.ctx.Err() != nil {
+			// Aborted by Close: permanent, do not burn the retry budget.
+			return nil, -1, fmt.Errorf("%w: %v", errPermanent, err)
+		}
+		// Transport error (refused, reset, client timeout): retryable, and
+		// wrapped so an exhausted retry loop still surfaces the typed
+		// ErrRemote alongside the transport chain.
+		return nil, -1, fmt.Errorf("%w: %w", ErrRemote, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	total := int64(-1)
+	switch resp.StatusCode {
+	case http.StatusPartialContent:
+		total = parseContentRangeTotal(resp.Header.Get("Content-Range"))
+	case http.StatusOK:
+		// The server ignored the Range header. A whole-file body still
+		// serves a prefix read; anything else would mean downloading the
+		// file per page, which is a misconfiguration, not a pager mode.
+		if off != 0 {
+			return nil, -1, fmt.Errorf("%w: %s does not support range requests (status 200 for offset %d)", errPermanent, p.url, off)
+		}
+		total = resp.ContentLength
+	case http.StatusRequestTimeout, http.StatusTooManyRequests,
+		http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return nil, -1, fmt.Errorf("%w: status %s", ErrRemote, resp.Status)
+	default:
+		return nil, -1, fmt.Errorf("%w: status %s", errPermanent, resp.Status)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(resp.Body, body); err != nil {
+		return nil, total, fmt.Errorf("%w: short body: %v", ErrRemote, err) // retryable
+	}
+	p.bytesFetched.Add(int64(n))
+	return body, total, nil
+}
+
+// errPermanent marks fetch failures retrying cannot fix (bad request, 404,
+// no range support). It always travels wrapped alongside ErrRemote semantics
+// and is unwrapped into ErrRemote before callers see it.
+var errPermanent = fmt.Errorf("%w (permanent)", ErrRemote)
+
+// isPermanent reports whether a fetch failure should stop the retry loop.
+func isPermanent(err error) bool { return errors.Is(err, errPermanent) }
+
+// parseContentRangeTotal extracts the total size from a Content-Range header
+// ("bytes start-end/total"), returning -1 when absent or unparseable.
+func parseContentRangeTotal(h string) int64 {
+	i := strings.LastIndexByte(h, '/')
+	if i < 0 {
+		return -1
+	}
+	total, err := strconv.ParseInt(h[i+1:], 10, 64)
+	if err != nil {
+		return -1
+	}
+	return total
+}

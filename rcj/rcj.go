@@ -92,9 +92,20 @@ type IndexConfig struct {
 	Path string
 	// Backend selects the page substrate OpenIndex serves a saved index
 	// from: BackendMem (default) loads the whole page image into memory,
-	// BackendFile reads pages from the file on each buffer miss, and
-	// BackendMmap maps the file read-only. Ignored by BuildIndex.
+	// BackendFile reads pages from the file on each buffer miss,
+	// BackendMmap maps the file read-only, and BackendHTTP fetches pages by
+	// HTTP range request from a URL (implied when the source is an http(s)
+	// URL). Ignored by BuildIndex.
 	Backend Backend
+	// HTTP tunes the remote pager of an http-backend index (client, retry
+	// bound, backoff). Zero value = serving defaults. Ignored by the local
+	// backends.
+	HTTP HTTPConfig
+	// PrefetchWorkers sizes the async readahead pool of an http-backend
+	// index: 0 selects DefaultPrefetchWorkers, negative disables prefetch.
+	// Local backends never prefetch (their page reads are cheaper than the
+	// scheduling would be).
+	PrefetchWorkers int
 }
 
 // Index is an immutable spatial index over one dataset, ready to join. An
@@ -107,6 +118,10 @@ type Index struct {
 	pts    int
 	owner  uint32
 	shared bool // pool belongs to an Engine, not this index
+
+	backend  Backend            // substrate of an opened index (mem for builds)
+	remote   *storage.HTTPPager // non-nil for http-backend indexes
+	prefetch *buffer.Prefetcher // non-nil when async readahead is running
 }
 
 // ErrNoPoints is returned when building an index from an empty slice.
@@ -197,14 +212,49 @@ func (ix *Index) NearestNeighbor(x, y float64) (Point, error) {
 	return Point{X: e.P.X, Y: e.P.Y, ID: e.ID}, nil
 }
 
+// Backend returns the page substrate the index is served from (BackendMem
+// for freshly built indexes).
+func (ix *Index) Backend() Backend { return ix.backend }
+
+// RemoteStats returns the transfer counters of an http-backend index, and
+// whether the index is remote at all.
+func (ix *Index) RemoteStats() (RemoteStats, bool) {
+	if ix.remote == nil {
+		return RemoteStats{}, false
+	}
+	return ix.remote.Remote(), true
+}
+
+// PrefetchStats returns the readahead counters of the index's prefetcher,
+// and whether one is running (http-backend indexes unless disabled).
+func (ix *Index) PrefetchStats() (PrefetchStats, bool) {
+	if ix.prefetch == nil {
+		return PrefetchStats{}, false
+	}
+	return ix.prefetch.Stats(), true
+}
+
 // Close releases the index's storage (and closes its page file, if any).
 // For an Engine-built index, its cached nodes are also dropped from the
-// engine's shared buffer.
+// engine's shared buffer. A remote index closes its pager first — aborting
+// in-flight fetches and their retry loops — then drains the prefetcher, so
+// Close returns promptly even when the origin has hung instead of waiting
+// out a retry budget per queued readahead.
 func (ix *Index) Close() error {
+	var err error
+	if ix.remote != nil {
+		err = ix.remote.Close()
+	}
+	if ix.prefetch != nil {
+		ix.prefetch.Close()
+	}
 	if ix.shared {
 		ix.pool.InvalidateOwner(ix.owner)
 	}
-	return ix.pager.Close()
+	if cerr := ix.pager.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Stats summarizes what a join run did; see the fields for the paper

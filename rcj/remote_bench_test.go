@@ -1,0 +1,62 @@
+package rcj
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// BenchmarkRemoteJoin measures a cold self-join over an index served by a
+// local HTTP server with an injected per-request latency, prefetch on vs
+// off: the readahead's whole job is to overlap those round trips, so the
+// on/off gap at a given latency is the honest value of the prefetcher on
+// this machine. Each iteration opens a fresh engine (cold pool), so every
+// page is one range fetch.
+func BenchmarkRemoteJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	pts := randomPoints(rng, 3000)
+	dir := b.TempDir()
+	ix, err := BuildIndex(pts, IndexConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, "ix.rcjx")
+	if err := ix.Save(path); err != nil {
+		b.Fatal(err)
+	}
+	ix.Close()
+
+	for _, latency := range []time.Duration{0, time.Millisecond} {
+		fs := http.FileServer(http.Dir(dir))
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if latency > 0 {
+				time.Sleep(latency)
+			}
+			fs.ServeHTTP(w, r)
+		}))
+		for _, prefetch := range []struct {
+			name    string
+			workers int
+		}{{"prefetch=off", -1}, {"prefetch=on", 0}} {
+			name := "latency=" + latency.String() + "/" + prefetch.name
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					eng := NewEngine(EngineConfig{BufferPages: 4096})
+					re, err := eng.OpenIndex(srv.URL+"/ix.rcjx", IndexConfig{PrefetchWorkers: prefetch.workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, _, err := eng.SelfJoinCollect(context.Background(), re, JoinOptions{}); err != nil {
+						b.Fatal(err)
+					}
+					re.Close()
+				}
+			})
+		}
+		srv.Close()
+	}
+}
