@@ -30,6 +30,14 @@
 // capped by -join-timeout. SIGTERM/SIGINT drains gracefully: new joins get
 // 503 while in-flight and queued streams run to completion, bounded by
 // -drain-timeout.
+//
+// Shared-work serving (on by default): queued streaming queries over the
+// same indexes merge into one traversal (-batch, -batch-max), and bounded
+// top_k/limit results are memoized across requests (-result-cache,
+// -result-cache-pairs), invalidated when an index is unloaded. Remote-index
+// page fetches are single-flighted and coalesced automatically. /metrics
+// reports all of it: rcjd_sched_batches_total, rcjd_result_cache_*,
+// rcjd_remote_shared_total, rcjd_remote_coalesced_total.
 package main
 
 import (
@@ -58,6 +66,10 @@ func main() {
 		queueTimeout  = flag.Duration("queue-timeout", 5*time.Second, "max wait in the admission queue (0 = unbounded)")
 		joinTimeout   = flag.Duration("join-timeout", 0, "per-request join deadline (0 = none)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight joins on shutdown")
+		batch         = flag.Bool("batch", true, "merge queued compatible streaming queries into one shared traversal")
+		batchMax      = flag.Int("batch-max", sched.DefaultBatchMaxRequests, "max requests one shared traversal may serve")
+		cacheEntries  = flag.Int("result-cache", 256, "memoized result sets for bounded (top_k/limit) queries (0 = off)")
+		cachePairs    = flag.Int("result-cache-pairs", server.DefaultResultCachePairs, "max pairs per memoized result")
 	)
 	indexes := map[string]string{}
 	flag.Func("index", "saved index to serve, as name=path.rcjx or name=https://host/ix.rcjx (repeatable)", func(v string) error {
@@ -97,8 +109,11 @@ func main() {
 			MaxQueue:      *maxQueue,
 			QueueTimeout:  *queueTimeout,
 			JoinTimeout:   *joinTimeout,
+			Batch:         sched.BatchConfig{Enabled: *batch, MaxRequests: *batchMax},
 		},
-		DrainTimeout: *drainTimeout,
+		ResultCacheEntries: *cacheEntries,
+		ResultCachePairs:   *cachePairs,
+		DrainTimeout:       *drainTimeout,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

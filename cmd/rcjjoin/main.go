@@ -172,6 +172,7 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "rcjjoin: %d pairs (%d candidates verified, %d page faults%s)\n",
 				st.Results, st.Candidates, st.PageFaults, prunedNote())
+			reportRemote()
 			return
 		}
 		// Streaming mode: rows go out as the join confirms them (a -top-k
@@ -203,6 +204,7 @@ func main() {
 			results++
 		}
 		fmt.Fprintf(os.Stderr, "rcjjoin: %d pairs streamed (%d page faults%s)\n", results, st.PageFaults, prunedNote())
+		reportRemote()
 	case "l1":
 		var (
 			pairs []rcj.L1Pair
@@ -233,8 +235,28 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "rcjjoin: %d pairs (L1 metric, %d candidates verified)\n",
 			stats.Results, stats.Candidates)
+		reportRemote()
 	default:
 		fatalf("unknown metric %q (want l2 or l1)", *metric)
+	}
+}
+
+// remoteIxs collects every index opened during the run so the success paths
+// can report remote transfer counters; indexes without an http backend are
+// skipped at print time (RemoteStats reports ok=false).
+var remoteIxs []*rcj.Index
+
+// reportRemote prints one stderr line per http-backed index summarizing the
+// transfer work the join cost — and how much of it was avoided by the
+// single-flight dedupe (shared) and adjacent-page coalescing (coalesced).
+func reportRemote() {
+	for _, ix := range remoteIxs {
+		rs, ok := ix.RemoteStats()
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "rcjjoin: remote: %d fetches, %d KiB, %d shared, %d coalesced, %d retries\n",
+			rs.Fetches, rs.BytesFetched/1024, rs.SharedFetches, rs.CoalescedFetches, rs.Retries)
 	}
 }
 
@@ -254,6 +276,7 @@ func loadOrOpenIndex(eng *rcj.Engine, path string, backend rcj.Backend, save str
 			fatalf("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "rcjjoin: opened index %s (%d points, %s backend)\n", path, ix.Len(), ix.Backend())
+		remoteIxs = append(remoteIxs, ix)
 	} else {
 		f, err := os.Open(path)
 		if err != nil {

@@ -39,12 +39,17 @@ type Key struct {
 // PrefetchHits counts hits on entries a Prefetcher loaded ahead of demand
 // and that had not been demanded before — each one is a page fault the
 // readahead hid from the requester.
+// SharedLoads counts misses that piggybacked on a load another goroutine
+// already had in flight for the same key instead of calling load themselves
+// (the single-flight dedupe); each one is still counted as a miss, so the
+// hit/miss classification — and per-tag attribution — is unchanged.
 type Stats struct {
 	Accesses     int64
 	Hits         int64
 	Misses       int64
 	Evictions    int64
 	PrefetchHits int64
+	SharedLoads  int64
 }
 
 // Faults returns the number of page faults (cache misses).
@@ -65,6 +70,7 @@ func (s *Stats) add(o Stats) {
 	s.Misses += o.Misses
 	s.Evictions += o.Evictions
 	s.PrefetchHits += o.PrefetchHits
+	s.SharedLoads += o.SharedLoads
 }
 
 // TagStats attributes buffer accesses to one logical request (typically one
@@ -100,12 +106,22 @@ type entry struct {
 	prefetched bool // loaded by a Prefetcher and not yet demanded
 }
 
+// loadFlight is one in-flight miss load: the leader fills v/err and closes
+// done; concurrent misses of the same key wait on done and share the
+// outcome instead of re-running load.
+type loadFlight struct {
+	done chan struct{}
+	v    any
+	err  error
+}
+
 // shard is one independently-locked LRU partition of a Pool.
 type shard struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used
 	items    map[Key]*list.Element
+	inflight map[Key]*loadFlight
 	stats    Stats
 	_        [64]byte // keep neighboring shards' hot fields off one cache line
 }
@@ -151,6 +167,7 @@ func NewShardedPool(capacity, shards int) *Pool {
 		s.capacity = shardCapacity(capacity, i, n)
 		s.ll = list.New()
 		s.items = make(map[Key]*list.Element)
+		s.inflight = make(map[Key]*loadFlight)
 	}
 	return p
 }
@@ -285,37 +302,69 @@ func (p *Pool) GetTaggedFirst(k Key, tag *TagStats, load func() (any, error)) (a
 		return v, first, nil
 	}
 	s.stats.Misses++
+	// Single-flight: if another miss already has this key's load in flight,
+	// wait for its result instead of loading again. The waiter is still a
+	// miss — to its request the page faulted — so shard and tag counters are
+	// classified exactly as before; SharedLoads records the dedupe.
+	lf, waiting := s.inflight[k]
+	var f *loadFlight
+	if waiting {
+		s.stats.SharedLoads++
+	} else {
+		f = &loadFlight{done: make(chan struct{})}
+		s.inflight[k] = f
+	}
 	s.mu.Unlock()
 	if tag != nil {
 		tag.accesses.Add(1)
 		tag.misses.Add(1)
+	}
+	if waiting {
+		<-lf.done
+		if lf.err != nil {
+			return nil, false, lf.err
+		}
+		return lf.v, true, nil
 	}
 
 	// Load outside the lock: loads hit the pager, which has its own locking,
 	// and may be slow for file-backed pagers.
 	v, err := load()
 	if err != nil {
+		s.mu.Lock()
+		delete(s.inflight, k)
+		s.mu.Unlock()
+		f.err = err
+		close(f.done)
 		return nil, false, err
 	}
+	f.v = v
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	delete(s.inflight, k)
 	if s.capacity == 0 {
+		s.mu.Unlock()
+		close(f.done)
 		return v, true, nil
 	}
 	if el, ok := s.items[k]; ok {
-		// Another goroutine cached it meanwhile; prefer the existing value.
-		// If that was a racing prefetch, the page has now been demanded (and
-		// counted as a full miss above), so consume the flag without a
-		// PrefetchHit — the readahead did not beat this demand.
+		// A racing prefetch cached it meanwhile; prefer the existing value.
+		// The page has now been demanded (and counted as a full miss above),
+		// so consume the flag without a PrefetchHit — the readahead did not
+		// beat this demand.
 		e := el.Value.(*entry)
 		e.prefetched = false
 		s.ll.MoveToFront(el)
-		return e.value, true, nil
+		cached := e.value
+		s.mu.Unlock()
+		close(f.done)
+		return cached, true, nil
 	}
 	el := s.ll.PushFront(&entry{key: k, value: v})
 	s.items[k] = el
 	s.evictOverflow()
+	s.mu.Unlock()
+	close(f.done)
 	return v, true, nil
 }
 

@@ -48,10 +48,15 @@ func (s PrefetchStats) Sub(o PrefetchStats) PrefetchStats {
 	}
 }
 
-// prefetchJob is one queued readahead: load the page and insert it for key.
+// prefetchJob is one queued readahead: load the page and insert it for key,
+// or — when keys/loadBatch are set — load a run of pages in one substrate
+// operation and insert each.
 type prefetchJob struct {
 	key  Key
 	load func() (any, error)
+
+	keys      []Key
+	loadBatch func() ([]any, error)
 }
 
 // Prefetcher is a bounded asynchronous readahead executor in front of a
@@ -121,6 +126,42 @@ func (pf *Prefetcher) Offer(k Key, load func() (any, error)) bool {
 	}
 }
 
+// OfferBatch enqueues one readahead job for a run of pages that loadBatch
+// fetches together (one coalesced substrate operation, e.g. a multi-page
+// HTTP range request), to be inserted under the given keys in order. The
+// job is enqueued unless every page is already cached, the queue is full,
+// or the prefetcher is closed; like Offer it never blocks. Counters treat
+// the batch as one offer but count Loaded/AlreadyCached per page.
+func (pf *Prefetcher) OfferBatch(keys []Key, loadBatch func() ([]any, error)) bool {
+	if len(keys) == 0 {
+		return false
+	}
+	allCached := true
+	for _, k := range keys {
+		if !pf.pool.Contains(k) {
+			allCached = false
+			break
+		}
+	}
+	if allCached {
+		pf.already.Add(int64(len(keys)))
+		return false
+	}
+	pf.mu.RLock()
+	defer pf.mu.RUnlock()
+	if pf.closed {
+		return false
+	}
+	select {
+	case pf.jobs <- prefetchJob{keys: keys, loadBatch: loadBatch}:
+		pf.offered.Add(1)
+		return true
+	default:
+		pf.dropped.Add(1)
+		return false
+	}
+}
+
 // worker drains the queue: re-check the pool (demand may have won the race
 // since the offer), load outside all locks, insert. Once Close has begun,
 // queued jobs are discarded instead of loaded — against a dead origin each
@@ -133,6 +174,10 @@ func (pf *Prefetcher) worker() {
 			pf.dropped.Add(1)
 			continue
 		}
+		if job.loadBatch != nil {
+			pf.runBatch(job)
+			continue
+		}
 		if pf.pool.Contains(job.key) {
 			pf.already.Add(1)
 			continue
@@ -143,6 +188,35 @@ func (pf *Prefetcher) worker() {
 			continue
 		}
 		if pf.pool.PutPrefetched(job.key, v) {
+			pf.loaded.Add(1)
+		} else {
+			pf.already.Add(1)
+		}
+	}
+}
+
+// runBatch executes one coalesced readahead job: re-check the pool (demand
+// may have cached some of the run since the offer; if all of it, skip the
+// fetch), load the run in one operation, insert what is still absent.
+func (pf *Prefetcher) runBatch(job prefetchJob) {
+	allCached := true
+	for _, k := range job.keys {
+		if !pf.pool.Contains(k) {
+			allCached = false
+			break
+		}
+	}
+	if allCached {
+		pf.already.Add(int64(len(job.keys)))
+		return
+	}
+	vals, err := job.loadBatch()
+	if err != nil || len(vals) != len(job.keys) {
+		pf.failed.Add(1)
+		return
+	}
+	for i, k := range job.keys {
+		if pf.pool.PutPrefetched(k, vals[i]) {
 			pf.loaded.Add(1)
 		} else {
 			pf.already.Add(1)

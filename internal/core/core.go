@@ -129,6 +129,14 @@ type Options struct {
 	// Under TopK the final pairs are only known when the traversal ends, so
 	// OnPair fires at the end, in ascending diameter order.
 	OnPair func(Pair)
+	// OnBatch, when non-nil, streams confirmed pairs grouped by verification
+	// batch — the executor's leaf-level unit of work (one batch per TQ leaf
+	// under BIJ/OBJ, per query point under INJ; TopK delivers its full
+	// ranking as one final batch). Batches with no surviving pair are
+	// skipped. The callee owns the slice. This is the hook multi-request
+	// traversal sharing demuxes on: one traversal, per-leaf fan-out to many
+	// consumers.
+	OnBatch func([]Pair)
 
 	// The query predicates below select a subset of the join result and are
 	// pushed into the index traversal (see query.go): for every combination,
@@ -210,6 +218,7 @@ type joiner struct {
 	shared *runShared // TopK/Limit state, shared across workers; nil without predicates
 	stats  Stats
 	out    []Pair
+	batch  []Pair // survivors of the current verification batch (OnBatch only)
 }
 
 // emit records a confirmed result pair. Under TopK the pair enters the
@@ -238,6 +247,20 @@ func (j *joiner) emit(p Pair) {
 	if j.opts.OnPair != nil {
 		j.opts.OnPair(p)
 	}
+	if j.opts.OnBatch != nil {
+		j.batch = append(j.batch, p)
+	}
+}
+
+// flushBatch hands the survivors accumulated since the last flush to
+// OnBatch, transferring slice ownership. No-op when empty or unconfigured.
+func (j *joiner) flushBatch() {
+	if j.opts.OnBatch == nil || len(j.batch) == 0 {
+		return
+	}
+	b := j.batch
+	j.batch = nil
+	j.opts.OnBatch(b)
 }
 
 // keepSelfPair reports whether a pair should be emitted under self-join

@@ -79,6 +79,11 @@ func (j *joiner) execute(ctx context.Context) ([]Pair, Stats, error) {
 	if err == nil && j.shared != nil && j.shared.topk != nil {
 		j.flushTopK()
 	}
+	if err == nil {
+		// AlgBrute emits without verification batches; flush its accumulated
+		// survivors (and any TopK ranking) as one final batch.
+		j.flushBatch()
+	}
 	return j.out, j.stats, err
 }
 
@@ -115,6 +120,7 @@ func (j *joiner) verifyAndEmit(cands []*candidate) error {
 		}
 		j.emit(c.pair)
 	}
+	j.flushBatch()
 	return nil
 }
 

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sortPairsByID orders pairs deterministically for set comparison.
+func sortPairsByID(ps []Pair) {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].P.ID != ps[b].P.ID {
+			return ps[a].P.ID < ps[b].P.ID
+		}
+		return ps[a].Q.ID < ps[b].Q.ID
+	})
+}
+
+// TestOnBatchMatchesCollect pins the OnBatch contract: concatenating the
+// batches reproduces the collected result exactly (same pairs, same order
+// for a sequential run), every batch is non-empty, and the per-pair and
+// per-batch streams agree.
+func TestOnBatchMatchesCollect(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := randomPoints(rng, 800)
+	tr := buildTree(t, pts, nil, 0, true)
+
+	for _, alg := range []Algorithm{AlgINJ, AlgBIJ, AlgOBJ} {
+		want, _, err := Join(tr, tr, Options{Algorithm: alg, SelfJoin: true, Collect: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Pair
+		batches := 0
+		_, st, err := Join(tr, tr, Options{Algorithm: alg, SelfJoin: true, OnBatch: func(b []Pair) {
+			if len(b) == 0 {
+				t.Fatal("empty batch delivered")
+			}
+			batches++
+			got = append(got, b...)
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d batched pairs, want %d", alg, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v: pair %d: %+v != %+v (sequential batch order must equal collect order)", alg, i, got[i], want[i])
+			}
+		}
+		if batches == 0 || st.Results != int64(len(got)) {
+			t.Fatalf("%v: batches=%d results=%d emitted=%d", alg, batches, st.Results, len(got))
+		}
+	}
+}
+
+// TestOnBatchPredicatesAndTopK pins OnBatch under pushdown: predicate runs
+// deliver only matching pairs, and TopK delivers its full ranking as one
+// final batch in ranking order.
+func TestOnBatchPredicatesAndTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pts := randomPoints(rng, 600)
+	tr := buildTree(t, pts, nil, 0, true)
+
+	want, _, err := Join(tr, tr, Options{Algorithm: AlgOBJ, SelfJoin: true, Collect: true, MaxDiameter: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Pair
+	if _, _, err := Join(tr, tr, Options{Algorithm: AlgOBJ, SelfJoin: true, MaxDiameter: 300,
+		OnBatch: func(b []Pair) { got = append(got, b...) }}); err != nil {
+		t.Fatal(err)
+	}
+	sortPairsByID(want)
+	sortPairsByID(got)
+	if len(got) != len(want) {
+		t.Fatalf("predicate run: %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("predicate run pair %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+
+	const k = 25
+	wantK, _, err := Join(tr, tr, Options{Algorithm: AlgOBJ, SelfJoin: true, Collect: true, TopK: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotK []Pair
+	batches := 0
+	if _, _, err := Join(tr, tr, Options{Algorithm: AlgOBJ, SelfJoin: true, TopK: k,
+		OnBatch: func(b []Pair) { batches++; gotK = append(gotK, b...) }}); err != nil {
+		t.Fatal(err)
+	}
+	if batches != 1 {
+		t.Fatalf("TopK delivered %d batches, want 1", batches)
+	}
+	if len(gotK) != len(wantK) {
+		t.Fatalf("TopK: %d pairs, want %d", len(gotK), len(wantK))
+	}
+	for i := range gotK {
+		if gotK[i] != wantK[i] {
+			t.Fatalf("TopK pair %d: %+v != %+v (must be ranking order)", i, gotK[i], wantK[i])
+		}
+	}
+}

@@ -65,6 +65,13 @@ func (j *joiner) runParallel() error {
 				base.OnPair(p)
 			}
 		}
+		if base.OnBatch != nil {
+			worker.opts.OnBatch = func(b []Pair) {
+				emitMu.Lock()
+				defer emitMu.Unlock()
+				base.OnBatch(b)
+			}
+		}
 		workers[w] = worker
 		wg.Add(1)
 		go func(worker *joiner) {

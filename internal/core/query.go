@@ -206,5 +206,8 @@ func (j *joiner) flushTopK() {
 		if j.opts.OnPair != nil {
 			j.opts.OnPair(p)
 		}
+		if j.opts.OnBatch != nil {
+			j.batch = append(j.batch, p)
+		}
 	}
 }

@@ -1,0 +1,108 @@
+package rtree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// rangePager wraps a MemPager with a PageRangeReader implementation that
+// records every run it serves, standing in for the HTTP backend in tests.
+type rangePager struct {
+	storage.Pager
+	mu   sync.Mutex
+	runs [][2]int // {first, n} per ReadPageRange call
+}
+
+func (p *rangePager) ReadPageRange(first storage.PageID, n int) ([][]byte, error) {
+	p.mu.Lock()
+	p.runs = append(p.runs, [2]int{int(first), n})
+	p.mu.Unlock()
+	pages := make([][]byte, n)
+	for i := range pages {
+		pages[i] = make([]byte, p.PageSize())
+		if err := p.ReadPage(first+storage.PageID(i), pages[i]); err != nil {
+			return nil, err
+		}
+	}
+	return pages, nil
+}
+
+// TestOfferChildrenCoalesces pins the readahead coalescing: over a
+// range-capable pager, the prefetch cascade fetches runs of adjacent
+// sibling pages together instead of one request per child, and the
+// prefetched tree answers searches identically.
+func TestOfferChildrenCoalesces(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mem := storage.NewMemPager(storage.DefaultPageSize)
+	built, err := New(mem, buffer.NewPool(-1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := randomEntries(rng, 3000)
+	if err := built.BulkLoad(entries, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	rp := &rangePager{Pager: mem}
+	pool := buffer.NewPool(-1)
+	reopened, err := Open(rp, pool, Config{}, built.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := buffer.NewPrefetcher(pool, 2, 256)
+	defer pf.Close()
+	reopened.SetPrefetcher(pf) // offers the root's children immediately
+
+	// Wait for the cascade to quiesce: bulk load writes siblings
+	// contiguously, so at 3000 points the root fan-out alone must contain
+	// at least one multi-page run.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rp.mu.Lock()
+		n := len(rp.runs)
+		rp.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no coalesced runs observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ps := pf.Stats()
+	if ps.Failed != 0 {
+		t.Fatalf("prefetch failures: %+v", ps)
+	}
+	rp.mu.Lock()
+	runs := append([][2]int(nil), rp.runs...)
+	rp.mu.Unlock()
+	for _, r := range runs {
+		if r[1] < 2 {
+			t.Fatalf("single-page run %v went through ReadPageRange", r)
+		}
+		if r[1] > maxCoalescedRun {
+			t.Fatalf("run %v exceeds maxCoalescedRun %d", r, maxCoalescedRun)
+		}
+	}
+
+	// Prefetched pages decode to nodes the traversal can use: a search over
+	// the reopened tree matches the built tree.
+	w := geom.Rect{MinX: 2000, MinY: 2000, MaxX: 7000, MaxY: 7000}
+	a, err := built.RangeSearch(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := reopened.RangeSearch(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("range search over prefetched tree: %d vs %d results", len(b), len(a))
+	}
+}

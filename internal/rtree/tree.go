@@ -3,6 +3,7 @@ package rtree
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"repro/internal/buffer"
 	"repro/internal/geom"
@@ -220,6 +221,12 @@ func (t *Tree) SetPrefetcher(pf *buffer.Prefetcher) {
 // (top-k, region window) never drags in whole subtrees it will never visit.
 const readaheadDepth = 2
 
+// maxCoalescedRun caps how many adjacent sibling pages one coalesced
+// readahead fetches in a single substrate operation: long enough to collapse
+// a whole sibling fan-out (bulk load writes siblings contiguously) into one
+// round trip, short enough that one request never pins a huge body.
+const maxCoalescedRun = 16
+
 // offerChildren enqueues readahead for every child page of an internal
 // node. A prefetch load that turns out to be internal offers its own
 // children from inside the worker while depth remains, so the readahead
@@ -227,22 +234,80 @@ const readaheadDepth = 2
 // on warm reads; the prefetcher's bounded queue (shed on full) and the
 // depth budget keep the cascade from flooding a selective query with the
 // whole tree.
+//
+// Over a pager that can read page runs (storage.PageRangeReader — the HTTP
+// backend), runs of adjacent sibling pages are offered as one coalesced
+// batch job: bulk load allocates siblings contiguously, so a node's whole
+// fan-out typically costs one ranged request instead of one per child.
 func (t *Tree) offerChildren(n *Node, depth int) {
 	if depth <= 0 {
 		return
 	}
-	for _, e := range n.Children {
-		child := e.Child
-		t.prefetch.Offer(buffer.Key{Owner: t.cfg.Owner, Page: child}, func() (any, error) {
-			v, err := t.loadNode(child)
-			if err == nil {
-				if cn, ok := v.(*Node); ok && !cn.Leaf {
-					t.offerChildren(cn, depth-1)
-				}
-			}
-			return v, err
-		})
+	rr, _ := t.pager.(storage.PageRangeReader)
+	if rr == nil || len(n.Children) < 2 {
+		for _, e := range n.Children {
+			t.offerChild(e.Child, depth)
+		}
+		return
 	}
+	ids := make([]storage.PageID, len(n.Children))
+	for i, e := range n.Children {
+		ids[i] = e.Child
+	}
+	slices.Sort(ids)
+	for start := 0; start < len(ids); {
+		end := start + 1
+		for end < len(ids) && end-start < maxCoalescedRun && ids[end] == ids[end-1]+1 {
+			end++
+		}
+		if end-start == 1 {
+			t.offerChild(ids[start], depth)
+		} else {
+			t.offerChildRun(rr, ids[start], end-start, depth)
+		}
+		start = end
+	}
+}
+
+// offerChild enqueues readahead for one child page.
+func (t *Tree) offerChild(child storage.PageID, depth int) {
+	t.prefetch.Offer(buffer.Key{Owner: t.cfg.Owner, Page: child}, func() (any, error) {
+		v, err := t.loadNode(child)
+		if err == nil {
+			if cn, ok := v.(*Node); ok && !cn.Leaf {
+				t.offerChildren(cn, depth-1)
+			}
+		}
+		return v, err
+	})
+}
+
+// offerChildRun enqueues one coalesced readahead for n adjacent sibling
+// pages starting at first: one ranged fetch, decoded per page, with the
+// cascade continuing under each child that turns out internal.
+func (t *Tree) offerChildRun(rr storage.PageRangeReader, first storage.PageID, n, depth int) {
+	keys := make([]buffer.Key, n)
+	for i := range keys {
+		keys[i] = buffer.Key{Owner: t.cfg.Owner, Page: first + storage.PageID(i)}
+	}
+	t.prefetch.OfferBatch(keys, func() ([]any, error) {
+		pages, err := rr.ReadPageRange(first, n)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]any, n)
+		for i, pg := range pages {
+			nd, err := DecodeNode(pg)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = nd
+			if !nd.Leaf {
+				t.offerChildren(nd, depth-1)
+			}
+		}
+		return vals, nil
+	})
 }
 
 // loadNode reads and decodes page id straight from the pager, bypassing the

@@ -64,6 +64,9 @@ type Config struct {
 	// JoinTimeout is the per-request execution deadline applied to each
 	// admitted join (queue wait excluded); 0 means none.
 	JoinTimeout time.Duration
+	// Batch enables cross-request traversal batching for queued streaming
+	// queries (see BatchConfig and batch.go). Disabled by default.
+	Batch BatchConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +101,16 @@ type Snapshot struct {
 
 	PairsEmitted int64 `json:"pairs_emitted"`
 
+	// SharedBatches counts envelope traversals that served more than one
+	// request; BatchedRequests counts the requests those traversals served
+	// (see batch.go). OpenBatches/OpenBatchMembers are gauges: batches still
+	// forming in the queue and the requests riding them. All stay zero
+	// unless Config.Batch.Enabled.
+	SharedBatches    int64 `json:"shared_batches"`
+	BatchedRequests  int64 `json:"batched_requests"`
+	OpenBatches      int   `json:"open_batches"`
+	OpenBatchMembers int   `json:"open_batch_members"`
+
 	// Exact tagged buffer attribution summed over completed serving joins.
 	BufferAccesses int64 `json:"buffer_accesses"`
 	BufferHits     int64 `json:"buffer_hits"`
@@ -131,8 +144,9 @@ type Scheduler struct {
 	running  int
 	queue    *list.List // of *waiter, front = next to be granted
 	draining bool
-	drained  chan struct{} // closed when draining and the last slot frees
-	closed   bool          // drained has been closed
+	drained  chan struct{}       // closed when draining and the last slot frees
+	closed   bool                // drained has been closed
+	batches  map[batchKey]*batch // open (unsealed) batches, guarded by mu
 
 	admitted             atomic.Int64
 	completed            atomic.Int64
@@ -141,6 +155,8 @@ type Scheduler struct {
 	rejectedQueueTimeout atomic.Int64
 	rejectedDraining     atomic.Int64
 	pairsEmitted         atomic.Int64
+	batchesRun           atomic.Int64
+	batchedReqs          atomic.Int64
 	bufAccesses          atomic.Int64
 	bufHits              atomic.Int64
 	bufMisses            atomic.Int64
@@ -156,6 +172,7 @@ func New(eng *rcj.Engine, cfg Config) *Scheduler {
 		cfg:     cfg.withDefaults(),
 		queue:   list.New(),
 		drained: make(chan struct{}),
+		batches: make(map[batchKey]*batch),
 	}
 }
 
@@ -332,6 +349,9 @@ func (s *Scheduler) SelfJoin(ctx context.Context, ix *rcj.Index, opts rcj.JoinOp
 // region window, limit) under the same admission control as Join. See Join
 // for the slot lifecycle and stats contract.
 func (s *Scheduler) Run(ctx context.Context, q, p *rcj.Index, qry rcj.Query, stats *rcj.Stats) (iter.Seq2[rcj.Pair, error], error) {
+	if seq, err, handled := s.runBatched(ctx, q, p, qry, false, stats); handled {
+		return seq, err
+	}
 	return s.admit(ctx, stats, func(jctx context.Context, st *rcj.Stats) iter.Seq2[rcj.Pair, error] {
 		r := qry
 		r.Stats = st
@@ -341,6 +361,9 @@ func (s *Scheduler) Run(ctx context.Context, q, p *rcj.Index, qry rcj.Query, sta
 
 // RunSelf is Run for the self-join of one index.
 func (s *Scheduler) RunSelf(ctx context.Context, ix *rcj.Index, qry rcj.Query, stats *rcj.Stats) (iter.Seq2[rcj.Pair, error], error) {
+	if seq, err, handled := s.runBatched(ctx, ix, ix, qry, true, stats); handled {
+		return seq, err
+	}
 	return s.admit(ctx, stats, func(jctx context.Context, st *rcj.Stats) iter.Seq2[rcj.Pair, error] {
 		r := qry
 		r.Stats = st
@@ -418,6 +441,10 @@ func (s *Scheduler) Snapshot() Snapshot {
 		Queued:   s.queue.Len(),
 		Draining: s.draining,
 	}
+	snap.OpenBatches = len(s.batches)
+	for _, b := range s.batches {
+		snap.OpenBatchMembers += len(b.members)
+	}
 	s.mu.Unlock()
 	snap.Admitted = s.admitted.Load()
 	snap.Completed = s.completed.Load()
@@ -426,6 +453,8 @@ func (s *Scheduler) Snapshot() Snapshot {
 	snap.RejectedQueueTimeout = s.rejectedQueueTimeout.Load()
 	snap.RejectedDraining = s.rejectedDraining.Load()
 	snap.PairsEmitted = s.pairsEmitted.Load()
+	snap.SharedBatches = s.batchesRun.Load()
+	snap.BatchedRequests = s.batchedReqs.Load()
 	snap.BufferAccesses = s.bufAccesses.Load()
 	snap.BufferHits = s.bufHits.Load()
 	snap.BufferMisses = s.bufMisses.Load()

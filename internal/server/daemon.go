@@ -29,8 +29,12 @@ type DaemonConfig struct {
 	BufferPages  int
 	BufferShards int
 	// Sched bounds admission: concurrent joins, queue depth, queue wait,
-	// per-join deadline (sched.Config semantics).
+	// per-join deadline, cross-request batching (sched.Config semantics).
 	Sched sched.Config
+	// ResultCacheEntries / ResultCachePairs size the memoized-result cache
+	// (Config semantics; 0 entries disables it).
+	ResultCacheEntries int
+	ResultCachePairs   int
 	// DrainTimeout caps how long shutdown waits for in-flight joins after
 	// the stop signal; 0 means 30s.
 	DrainTimeout time.Duration
@@ -56,7 +60,8 @@ func RunDaemon(ctx context.Context, cfg DaemonConfig, ready func(addr string)) e
 
 	eng := rcj.NewEngine(rcj.EngineConfig{BufferPages: cfg.BufferPages, BufferShards: cfg.BufferShards})
 	sch := sched.New(eng, cfg.Sched)
-	srv := New(sch, Config{Backend: cfg.Backend})
+	srv := New(sch, Config{Backend: cfg.Backend,
+		ResultCacheEntries: cfg.ResultCacheEntries, ResultCachePairs: cfg.ResultCachePairs})
 	// Indexes are closed on exit unless a join may still be running:
 	// closing an mmap-backed index unmaps pages a still-wedged join could
 	// be reading, so an incomplete drain leaks them instead (the process

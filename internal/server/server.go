@@ -54,11 +54,22 @@ var ErrIndexUnknown = errors.New("server: unknown index")
 // reference the index; the unload is rejected cleanly and can be retried.
 var ErrIndexBusy = errors.New("server: index in use by in-flight joins")
 
+// DefaultResultCachePairs caps how many pairs one cached result may hold
+// when Config.ResultCachePairs is zero.
+const DefaultResultCachePairs = 4096
+
 // Config assembles a Server.
 type Config struct {
 	// Backend is the pager substrate indexes are opened with (default
 	// BackendMem; see rcj.IndexConfig.Backend).
 	Backend rcj.Backend
+	// ResultCacheEntries bounds the result cache (see cache.go); 0 disables
+	// caching entirely.
+	ResultCacheEntries int
+	// ResultCachePairs caps the pairs of one cacheable result (default
+	// DefaultResultCachePairs); queries bounded looser than this bypass the
+	// cache.
+	ResultCachePairs int
 }
 
 // Server routes HTTP requests into a join scheduler and an index registry.
@@ -67,8 +78,11 @@ type Server struct {
 	sched   *sched.Scheduler
 	backend rcj.Backend
 
+	cache *resultCache // nil when disabled; all methods nil-safe
+
 	mu      sync.RWMutex
 	indexes map[string]*indexEntry
+	nextGen uint64 // generation source for loaded indexes (guarded by mu)
 	// Retired remote/prefetch totals of unloaded indexes: /metrics counters
 	// must stay monotone across unload/reload cycles, so a closed index's
 	// final counts fold in here rather than vanishing from the sums.
@@ -80,12 +94,15 @@ type Server struct {
 
 // indexEntry is one registered index and how it was loaded. refs counts the
 // in-flight joins reading the index (guarded by Server.mu), so an unload
-// can refuse to pull pages out from under a running traversal.
+// can refuse to pull pages out from under a running traversal. gen is the
+// registration's unique generation: result-cache keys embed it, so a
+// same-name reload can never serve a stale cached result.
 type indexEntry struct {
 	ix      *rcj.Index
 	path    string
 	backend rcj.Backend
 	refs    int
+	gen     uint64
 }
 
 // atomic64map is a tiny fixed-key counter set for per-endpoint request
@@ -121,6 +138,7 @@ func New(sch *sched.Scheduler, cfg Config) *Server {
 	return &Server{
 		sched:   sch,
 		backend: cfg.Backend,
+		cache:   newResultCache(cfg.ResultCacheEntries, cfg.ResultCachePairs),
 		indexes: make(map[string]*indexEntry),
 	}
 }
@@ -155,7 +173,8 @@ func (s *Server) LoadIndex(name, path string) error {
 	}
 	// Record the backend the index actually opened with: a URL path
 	// upgrades to the http backend regardless of the server's default.
-	s.indexes[name] = &indexEntry{ix: ix, path: path, backend: ix.Backend()}
+	s.nextGen++
+	s.indexes[name] = &indexEntry{ix: ix, path: path, backend: ix.Backend(), gen: s.nextGen}
 	s.mu.Unlock()
 	return nil
 }
@@ -212,6 +231,11 @@ func (s *Server) UnloadIndex(name string) error {
 	s.addRetired(rs0, ps0)
 	delete(s.indexes, name)
 	s.mu.Unlock()
+	// Purge memoized results depending on the unloaded index. Stores only
+	// happen while the storing join holds refs, and refs were zero above, so
+	// no store for this registration can land after the purge; a reload of
+	// the same name additionally gets a fresh generation.
+	s.cache.invalidate(name)
 	// Close outside the lock: it invalidates the index's owner pages across
 	// every pool shard, and lookups must not stall behind that sweep.
 	err := e.ix.Close()
@@ -291,13 +315,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// indexInfo is one row of GET /indexes.
+// indexInfo is one row of GET /indexes. Generation is the registration's
+// cache generation; CachedResults counts memoized result sets depending on
+// this index (dropped atomically when it unloads).
 type indexInfo struct {
-	Name     string `json:"name"`
-	Points   int    `json:"points"`
-	Path     string `json:"path"`
-	Backend  string `json:"backend"`
-	InFlight int    `json:"in_flight"`
+	Name          string `json:"name"`
+	Points        int    `json:"points"`
+	Path          string `json:"path"`
+	Backend       string `json:"backend"`
+	InFlight      int    `json:"in_flight"`
+	Generation    uint64 `json:"generation"`
+	CachedResults int    `json:"cached_results"`
 }
 
 func (s *Server) handleListIndexes(w http.ResponseWriter, r *http.Request) {
@@ -305,7 +333,8 @@ func (s *Server) handleListIndexes(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	out := make([]indexInfo, 0, len(s.indexes))
 	for name, e := range s.indexes {
-		out = append(out, indexInfo{Name: name, Points: e.ix.Len(), Path: e.path, Backend: e.backend.String(), InFlight: e.refs})
+		out = append(out, indexInfo{Name: name, Points: e.ix.Len(), Path: e.path, Backend: e.backend.String(),
+			InFlight: e.refs, Generation: e.gen, CachedResults: s.cache.countFor(name)})
 	}
 	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -359,7 +388,7 @@ func (s *Server) handleLoadIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e, _ := s.lookup(req.Name)
-	writeJSON(w, http.StatusCreated, indexInfo{Name: req.Name, Points: e.ix.Len(), Path: req.Path, Backend: e.backend.String()})
+	writeJSON(w, http.StatusCreated, indexInfo{Name: req.Name, Points: e.ix.Len(), Path: req.Path, Backend: e.backend.String(), Generation: e.gen})
 }
 
 // remoteTotals sums the remote-transfer and readahead counters over every
@@ -393,7 +422,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// header asking for text/plain); the JSON form stays the default.
 	if r.URL.Query().Get("format") == "prom" ||
 		(r.URL.Query().Get("format") == "" && strings.Contains(r.Header.Get("Accept"), "text/plain")) {
-		s.writePromMetrics(w, snap, pool, remote, prefetch, remoteIndexes)
+		s.writePromMetrics(w, snap, pool, remote, prefetch, remoteIndexes, s.cache.snapshot())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -405,12 +434,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"misses":        pool.Misses,
 			"evictions":     pool.Evictions,
 			"prefetch_hits": pool.PrefetchHits,
+			"shared_loads":  pool.SharedLoads,
 			"hit_ratio":     pool.HitRatio(),
 			"shards":        s.sched.Engine().BufferShards(),
 		},
 		"remote": map[string]any{
 			"indexes":                 remoteIndexes,
 			"fetches":                 remote.Fetches,
+			"shared_fetches":          remote.SharedFetches,
+			"coalesced_fetches":       remote.CoalescedFetches,
 			"retries":                 remote.Retries,
 			"bytes_fetched":           remote.BytesFetched,
 			"checksum_failures":       remote.ChecksumFailures,
@@ -420,7 +452,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"prefetch_already_cached": prefetch.AlreadyCached,
 			"prefetch_failed":         prefetch.Failed,
 		},
-		"requests": s.requests.snapshot(),
+		"result_cache": s.cache.snapshot(),
+		"requests":     s.requests.snapshot(),
 	})
 }
 
@@ -429,7 +462,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // counters for everything cumulative, per-endpoint request totals as one
 // labeled family.
 func (s *Server) writePromMetrics(w http.ResponseWriter, snap sched.Snapshot, pool buffer.Stats,
-	remote rcj.RemoteStats, prefetch rcj.PrefetchStats, remoteIndexes int) {
+	remote rcj.RemoteStats, prefetch rcj.PrefetchStats, remoteIndexes int, cache cacheStats) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	b2i := func(v bool) int {
@@ -453,6 +486,8 @@ func (s *Server) writePromMetrics(w http.ResponseWriter, snap sched.Snapshot, po
 		{"rcjd_sched_rejected_queue_timeout_total", "Requests that timed out queued.", "counter", snap.RejectedQueueTimeout},
 		{"rcjd_sched_rejected_draining_total", "Requests rejected during drain.", "counter", snap.RejectedDraining},
 		{"rcjd_sched_pairs_emitted_total", "Result pairs streamed to clients.", "counter", snap.PairsEmitted},
+		{"rcjd_sched_batches_total", "Envelope traversals that served more than one request.", "counter", snap.SharedBatches},
+		{"rcjd_sched_batched_requests_total", "Requests served by shared envelope traversals.", "counter", snap.BatchedRequests},
 		{"rcjd_sched_buffer_accesses_total", "Tagged buffer accesses of served joins.", "counter", snap.BufferAccesses},
 		{"rcjd_sched_buffer_hits_total", "Tagged buffer hits of served joins.", "counter", snap.BufferHits},
 		{"rcjd_sched_buffer_misses_total", "Tagged buffer misses of served joins.", "counter", snap.BufferMisses},
@@ -461,15 +496,25 @@ func (s *Server) writePromMetrics(w http.ResponseWriter, snap sched.Snapshot, po
 		{"rcjd_pool_misses_total", "Shared pool misses.", "counter", pool.Misses},
 		{"rcjd_pool_evictions_total", "Shared pool evictions.", "counter", pool.Evictions},
 		{"rcjd_pool_prefetch_hits_total", "Pool hits served by async readahead.", "counter", pool.PrefetchHits},
+		{"rcjd_pool_shared_loads_total", "Demand misses that piggybacked on an in-flight load of the same page.", "counter", pool.SharedLoads},
 		{"rcjd_pool_shards", "LRU shards in the shared pool.", "gauge", int64(s.sched.Engine().BufferShards())},
 		{"rcjd_remote_indexes", "Registered indexes served over HTTP ranges.", "gauge", int64(remoteIndexes)},
 		{"rcjd_remote_fetches_total", "HTTP range requests issued by remote indexes.", "counter", remote.Fetches},
+		{"rcjd_remote_shared_total", "Remote page reads collapsed into another reader's in-flight fetch.", "counter", remote.SharedFetches},
+		{"rcjd_remote_coalesced_total", "Multi-page range requests replacing per-page fetches.", "counter", remote.CoalescedFetches},
 		{"rcjd_remote_retries_total", "Remote fetches re-attempted after transient failures.", "counter", remote.Retries},
 		{"rcjd_remote_bytes_fetched_total", "Body bytes fetched by remote indexes.", "counter", remote.BytesFetched},
 		{"rcjd_remote_checksum_failures_total", "Fetched pages failing per-page CRC verification.", "counter", remote.ChecksumFailures},
 		{"rcjd_prefetch_offered_total", "Pages offered to async readahead.", "counter", prefetch.Offered},
 		{"rcjd_prefetch_loaded_total", "Pages loaded ahead of demand.", "counter", prefetch.Loaded},
 		{"rcjd_prefetch_dropped_total", "Readahead offers shed under queue pressure.", "counter", prefetch.Dropped},
+		{"rcjd_result_cache_entries", "Memoized result sets currently held.", "gauge", int64(cache.Entries)},
+		{"rcjd_result_cache_pairs", "Pairs held across memoized result sets.", "gauge", cache.Pairs},
+		{"rcjd_result_cache_hits_total", "Joins served from the result cache.", "counter", cache.Hits},
+		{"rcjd_result_cache_misses_total", "Cacheable joins that had to run.", "counter", cache.Misses},
+		{"rcjd_result_cache_stores_total", "Result sets memoized after clean completion.", "counter", cache.Stores},
+		{"rcjd_result_cache_evictions_total", "Memoized results evicted by the LRU bound.", "counter", cache.Evictions},
+		{"rcjd_result_cache_invalidations_total", "Memoized results purged by index unloads.", "counter", cache.Invalidations},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.value)
 	}
@@ -546,6 +591,9 @@ type summaryLine struct {
 	NodesPruned  int64   `json:"nodes_pruned"`
 	BufferHit    float64 `json:"buffer_hit_ratio"`
 	ElapsedMS    int64   `json:"elapsed_ms"`
+	// Cached marks a stream replayed from the result cache; the statistics
+	// above are the original run's.
+	Cached bool `json:"cached,omitempty"`
 }
 
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
@@ -623,6 +671,25 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		defer s.release(ixQ)
 	}
 
+	// Result cache: a bounded sequential query whose exact result set is
+	// already memoized streams from memory — no slot, no traversal, no page
+	// access. The key pins each index's registration generation, so a
+	// same-name reload can never hit. Skipped while draining (hits bypass
+	// admission control, and a draining server must say 503).
+	var ckey string
+	cacheOK := s.cache.cacheable(qry) && !s.sched.Draining()
+	if cacheOK {
+		if req.Self {
+			ckey = cacheKey(req.P, ixP.gen, req.P, ixP.gen, true, qry)
+		} else {
+			ckey = cacheKey(req.P, ixP.gen, req.Q, ixQ.gen, false, qry)
+		}
+		if res, ok := s.cache.get(ckey); ok {
+			s.writeCachedJoin(w, res, csvFormat)
+			return
+		}
+	}
+
 	// The request context cancels when the client disconnects; that
 	// propagates through the scheduler into the executor, aborting the join
 	// and freeing its slot. An additional per-request cap stacks under the
@@ -662,6 +729,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 
 	enc := json.NewEncoder(w)
+	var collect []rcj.Pair // tee for the result cache on a miss
+	buf := getLineBuf()
+	defer putLineBuf(buf)
 	for pr, err := range seq {
 		if err != nil {
 			// The status line is gone; report the failure in-band and stop.
@@ -672,15 +742,27 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			flush()
 			return
 		}
+		*buf = (*buf)[:0]
 		if csvFormat {
-			fmt.Fprintf(w, "%d,%d,%s,%s,%s\n", pr.P.ID, pr.Q.ID,
-				strconv.FormatFloat(pr.Center.X, 'f', 6, 64),
-				strconv.FormatFloat(pr.Center.Y, 'f', 6, 64),
-				strconv.FormatFloat(pr.Radius, 'f', 6, 64))
+			*buf = appendPairCSV(*buf, pr)
 		} else {
-			enc.Encode(pairLine{PID: pr.P.ID, QID: pr.Q.ID, CX: pr.Center.X, CY: pr.Center.Y, Radius: pr.Radius})
+			*buf = appendPairNDJSON(*buf, pr)
+		}
+		w.Write(*buf)
+		if cacheOK {
+			collect = append(collect, pr)
 		}
 		flush()
+	}
+	if cacheOK {
+		// The stream completed cleanly while this handler held the indexes'
+		// reference counts, so the generations in the key are still current:
+		// safe to memoize.
+		names := []string{req.P}
+		if !req.Self {
+			names = append(names, req.Q)
+		}
+		s.cache.put(&cachedResult{key: ckey, names: names, pairs: collect, stats: st})
 	}
 	if !csvFormat {
 		enc.Encode(map[string]summaryLine{"summary": {
@@ -694,6 +776,44 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		}})
 	}
 	flush()
+}
+
+// writeCachedJoin replays a memoized result set: the identical pair lines a
+// solo run of the query would stream (same bytes, same order), with the
+// original run's statistics in the summary marked "cached".
+func (s *Server) writeCachedJoin(w http.ResponseWriter, res *cachedResult, csvFormat bool) {
+	if csvFormat {
+		w.Header().Set("Content-Type", "text/csv")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	buf := getLineBuf()
+	defer putLineBuf(buf)
+	for _, pr := range res.pairs {
+		*buf = (*buf)[:0]
+		if csvFormat {
+			*buf = appendPairCSV(*buf, pr)
+		} else {
+			*buf = appendPairNDJSON(*buf, pr)
+		}
+		w.Write(*buf)
+	}
+	if !csvFormat {
+		st := res.stats
+		json.NewEncoder(w).Encode(map[string]summaryLine{"summary": {
+			Results:      st.Results,
+			Candidates:   st.Candidates,
+			NodeAccesses: st.NodeAccesses,
+			PageFaults:   st.PageFaults,
+			NodesPruned:  st.NodesPruned,
+			BufferHit:    st.BufferHitRatio(),
+			Cached:       true,
+		}})
+	}
+	if flusher, ok := w.(http.Flusher); ok {
+		flusher.Flush()
+	}
 }
 
 // writeAdmissionError maps scheduler rejections to backpressure statuses:

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -18,6 +19,14 @@ import (
 // with capped backoff first; ErrRemote surfaces only once retries are
 // exhausted or the failure is permanent.
 var ErrRemote = errors.New("storage: remote index fetch failed")
+
+// ErrOriginChanged means the origin served a different object than the one
+// the pager validated at open: the ETag (or Last-Modified, when the origin
+// sends no ETag) of a later response no longer matches the one captured on
+// the first. Pages fetched across such a boundary would mix two index
+// builds, so the fetch fails permanently (wrapped in ErrRemote, never
+// retried) and the index must be reopened.
+var ErrOriginChanged = errors.New("storage: remote index changed at origin")
 
 // IsIndexURL reports whether src names a remote index (an http:// or
 // https:// URL) rather than a local file path.
@@ -78,6 +87,13 @@ type RemoteStats struct {
 	// verification (each one is retried; a persistent mismatch surfaces as
 	// ErrBadChecksum).
 	ChecksumFailures int64
+	// SharedFetches counts page reads that piggybacked on a fetch another
+	// reader already had in flight for the same page instead of issuing
+	// their own request (the single-flight dedupe).
+	SharedFetches int64
+	// CoalescedFetches counts multi-page range requests that merged reads of
+	// adjacent pages (prefetch coalescing) into one round trip.
+	CoalescedFetches int64
 }
 
 // Add accumulates o into s, field by field — the one place the counter
@@ -88,6 +104,8 @@ func (s *RemoteStats) Add(o RemoteStats) {
 	s.Retries += o.Retries
 	s.BytesFetched += o.BytesFetched
 	s.ChecksumFailures += o.ChecksumFailures
+	s.SharedFetches += o.SharedFetches
+	s.CoalescedFetches += o.CoalescedFetches
 }
 
 // Sub returns s - o, field by field (the delta of two snapshots).
@@ -97,6 +115,8 @@ func (s RemoteStats) Sub(o RemoteStats) RemoteStats {
 		Retries:          s.Retries - o.Retries,
 		BytesFetched:     s.BytesFetched - o.BytesFetched,
 		ChecksumFailures: s.ChecksumFailures - o.ChecksumFailures,
+		SharedFetches:    s.SharedFetches - o.SharedFetches,
+		CoalescedFetches: s.CoalescedFetches - o.CoalescedFetches,
 	}
 }
 
@@ -122,12 +142,36 @@ type HTTPPager struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// inflight is the single-flight table: one entry per page currently
+	// being fetched. A reader that finds its page here waits for the
+	// leader's bytes instead of issuing a duplicate request.
+	sfMu     sync.Mutex
+	inflight map[PageID]*pageFlight
+
+	// The origin validators captured from the first response. Later fetches
+	// send If-Range with the strongest one and cross-check response headers,
+	// turning a mid-session origin mutation into ErrOriginChanged instead of
+	// silently mixed pages.
+	valMu   sync.Mutex
+	etag    string
+	lastMod string
+
 	reads        atomic.Int64
 	fetches      atomic.Int64
 	retries      atomic.Int64
 	bytesFetched atomic.Int64
 	checksumFail atomic.Int64
+	sharedFetch  atomic.Int64
+	coalesced    atomic.Int64
 	closed       atomic.Bool
+}
+
+// pageFlight is one in-flight page fetch: the leader fills body/err and
+// closes done; waiters block on done and share the outcome.
+type pageFlight struct {
+	done chan struct{}
+	body []byte
+	err  error
 }
 
 // OpenIndexURL validates the index file served at url and returns a
@@ -143,7 +187,8 @@ func OpenIndexURL(url string, cfg HTTPPagerConfig) (*HTTPPager, Superblock, erro
 	ownedCli := cfg.Client == nil
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	p := &HTTPPager{url: url, cfg: cfg, ownedCli: ownedCli, ctx: ctx, cancel: cancel}
+	p := &HTTPPager{url: url, cfg: cfg, ownedCli: ownedCli, ctx: ctx, cancel: cancel,
+		inflight: make(map[PageID]*pageFlight)}
 	// The superblock is self-checksummed, so decoding doubles as transit
 	// verification: a corrupted fetch retries like any transient failure.
 	sbBuf, total, err := p.fetchVerified(0, SuperblockSize, func(b []byte) error {
@@ -203,7 +248,9 @@ func (p *HTTPPager) WritePage(id PageID, buf []byte) error {
 
 // ReadPage fetches page id with one HTTP range request (plus bounded
 // retries), verifies it against the checksum table when present, and copies
-// it into buf.
+// it into buf. Concurrent reads of the same page — demand faults racing each
+// other or the prefetcher — collapse into one request: the first reader
+// fetches, the rest wait for its bytes (counted as SharedFetches).
 func (p *HTTPPager) ReadPage(id PageID, buf []byte) error {
 	if p.closed.Load() {
 		return fmt.Errorf("storage: read page %d: pager is closed", id)
@@ -214,23 +261,136 @@ func (p *HTTPPager) ReadPage(id PageID, buf []byte) error {
 	if len(buf) < p.pageSize {
 		return fmt.Errorf("storage: read buffer %d smaller than page size %d", len(buf), p.pageSize)
 	}
-	verify := func([]byte) error { return nil }
-	if p.table != nil {
-		verify = func(b []byte) error {
-			if err := VerifyPage(p.table, id, b); err != nil {
-				p.checksumFail.Add(1)
-				return err
-			}
-			return nil
+	p.sfMu.Lock()
+	if f, ok := p.inflight[id]; ok {
+		p.sfMu.Unlock()
+		p.sharedFetch.Add(1)
+		<-f.done
+		if f.err != nil {
+			return fmt.Errorf("storage: read page %d from %s: %w", id, p.url, f.err)
 		}
+		copy(buf, f.body)
+		p.reads.Add(1)
+		return nil
 	}
-	page, _, err := p.fetchVerified(int64(p.pageSize)*int64(1+int64(id)), p.pageSize, verify)
+	f := &pageFlight{done: make(chan struct{})}
+	p.inflight[id] = f
+	p.sfMu.Unlock()
+
+	page, _, err := p.fetchVerified(p.pageOffset(id), p.pageSize, p.verifyFor(id))
+	f.body, f.err = page, err
+	p.sfMu.Lock()
+	delete(p.inflight, id)
+	p.sfMu.Unlock()
+	close(f.done)
 	if err != nil {
 		return fmt.Errorf("storage: read page %d from %s: %w", id, p.url, err)
 	}
 	copy(buf, page)
 	p.reads.Add(1)
 	return nil
+}
+
+// ReadPageRange fetches n consecutive pages starting at first with ONE range
+// request (plus bounded retries), verifies each page against the checksum
+// table when present, and returns one slice per page. It is the coalescing
+// entry point of the prefetcher: adjacent sibling leaves queued together
+// cost one round trip instead of n. The pages in the run are registered in
+// the single-flight table, so a demand fault racing the coalesced fetch
+// waits for its page's bytes instead of duplicating the request. Pages
+// already in flight elsewhere are fetched again as part of the run (a single
+// ranged GET cannot skip holes); their flights are left to their owners.
+func (p *HTTPPager) ReadPageRange(first PageID, n int) ([][]byte, error) {
+	if p.closed.Load() {
+		return nil, fmt.Errorf("storage: read pages [%d,%d): pager is closed", first, int(first)+n)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("storage: read pages: non-positive run length %d", n)
+	}
+	if int(first)+n > p.numPages {
+		return nil, fmt.Errorf("%w: read [%d,%d) of %d", ErrPageOutOfRange, first, int(first)+n, p.numPages)
+	}
+	// Register a flight for every page of the run we are first to want.
+	flights := make([]*pageFlight, n)
+	p.sfMu.Lock()
+	for i := range flights {
+		id := first + PageID(i)
+		if _, busy := p.inflight[id]; busy {
+			continue
+		}
+		flights[i] = &pageFlight{done: make(chan struct{})}
+		p.inflight[id] = flights[i]
+	}
+	p.sfMu.Unlock()
+	if n > 1 {
+		p.coalesced.Add(1)
+	}
+
+	verify := func(b []byte) error {
+		if p.table == nil {
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			if err := VerifyPage(p.table, first+PageID(i), b[i*p.pageSize:(i+1)*p.pageSize]); err != nil {
+				p.checksumFail.Add(1)
+				return err
+			}
+		}
+		return nil
+	}
+	body, _, err := p.fetchVerified(p.pageOffset(first), n*p.pageSize, verify)
+
+	pages := make([][]byte, n)
+	if err == nil {
+		for i := range pages {
+			pages[i] = body[i*p.pageSize : (i+1)*p.pageSize : (i+1)*p.pageSize]
+		}
+		p.reads.Add(int64(n))
+	}
+	p.sfMu.Lock()
+	for i, f := range flights {
+		if f == nil {
+			continue
+		}
+		delete(p.inflight, first+PageID(i))
+	}
+	p.sfMu.Unlock()
+	for i, f := range flights {
+		if f == nil {
+			continue
+		}
+		if err != nil {
+			f.err = err
+		} else {
+			f.body = pages[i]
+		}
+		close(f.done)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: read pages [%d,%d) from %s: %w", first, int(first)+n, p.url, err)
+	}
+	return pages, nil
+}
+
+// pageOffset returns the file offset of page id (pages start after the
+// superblock's leading page).
+func (p *HTTPPager) pageOffset(id PageID) int64 {
+	return int64(p.pageSize) * int64(1+int64(id))
+}
+
+// verifyFor returns the per-page CRC verification hook for page id (a no-op
+// for v1 files, which carry no table).
+func (p *HTTPPager) verifyFor(id PageID) func([]byte) error {
+	if p.table == nil {
+		return func([]byte) error { return nil }
+	}
+	return func(b []byte) error {
+		if err := VerifyPage(p.table, id, b); err != nil {
+			p.checksumFail.Add(1)
+			return err
+		}
+		return nil
+	}
 }
 
 // Stats returns cumulative physical I/O counters (reads only; the remote
@@ -244,6 +404,8 @@ func (p *HTTPPager) Remote() RemoteStats {
 		Retries:          p.retries.Load(),
 		BytesFetched:     p.bytesFetched.Load(),
 		ChecksumFailures: p.checksumFail.Load(),
+		SharedFetches:    p.sharedFetch.Load(),
+		CoalescedFetches: p.coalesced.Load(),
 	}
 }
 
@@ -329,6 +491,14 @@ func (p *HTTPPager) fetchOnce(off int64, n int) ([]byte, int64, error) {
 		return nil, -1, fmt.Errorf("%w: %v", errPermanent, err)
 	}
 	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+int64(n)-1))
+	// After the first response pinned the object's validators, make the
+	// range conditional: an origin honoring If-Range answers 200 (full body)
+	// when the object changed, which the status switch below converts into
+	// ErrOriginChanged instead of serving pages of a different build.
+	ifRange := p.validator()
+	if ifRange != "" {
+		req.Header.Set("If-Range", ifRange)
+	}
 	resp, err := p.cfg.Client.Do(req)
 	if err != nil {
 		if p.ctx.Err() != nil {
@@ -349,10 +519,15 @@ func (p *HTTPPager) fetchOnce(off int64, n int) ([]byte, int64, error) {
 	case http.StatusPartialContent:
 		total = parseContentRangeTotal(resp.Header.Get("Content-Range"))
 	case http.StatusOK:
-		// The server ignored the Range header. A whole-file body still
-		// serves a prefix read; anything else would mean downloading the
-		// file per page, which is a misconfiguration, not a pager mode.
+		// The server ignored the Range header — or, on a conditional range,
+		// is telling us the object changed. A whole-file body still serves a
+		// prefix read; anything else would mean downloading the file per
+		// page, which is a misconfiguration, not a pager mode.
 		if off != 0 {
+			if ifRange != "" {
+				return nil, -1, fmt.Errorf("%w: %w: %s answered a full body to If-Range %q",
+					errPermanent, ErrOriginChanged, p.url, ifRange)
+			}
 			return nil, -1, fmt.Errorf("%w: %s does not support range requests (status 200 for offset %d)", errPermanent, p.url, off)
 		}
 		total = resp.ContentLength
@@ -363,12 +538,47 @@ func (p *HTTPPager) fetchOnce(off int64, n int) ([]byte, int64, error) {
 	default:
 		return nil, -1, fmt.Errorf("%w: status %s", errPermanent, resp.Status)
 	}
+	if err := p.checkValidators(resp.Header.Get("ETag"), resp.Header.Get("Last-Modified")); err != nil {
+		return nil, total, err
+	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(resp.Body, body); err != nil {
 		return nil, total, fmt.Errorf("%w: short body: %v", ErrRemote, err) // retryable
 	}
 	p.bytesFetched.Add(int64(n))
 	return body, total, nil
+}
+
+// validator returns the If-Range value to send: the captured ETag, else the
+// captured Last-Modified, else "" (first fetch, or an origin that sends
+// neither).
+func (p *HTTPPager) validator() string {
+	p.valMu.Lock()
+	defer p.valMu.Unlock()
+	if p.etag != "" {
+		return p.etag
+	}
+	return p.lastMod
+}
+
+// checkValidators captures the origin's ETag/Last-Modified on the first
+// response that carries them and compares every later response against the
+// captured pair, failing with ErrOriginChanged on a mismatch. This catches
+// origins that ignore If-Range but do version their responses.
+func (p *HTTPPager) checkValidators(etag, lastMod string) error {
+	p.valMu.Lock()
+	defer p.valMu.Unlock()
+	if p.etag == "" && p.lastMod == "" {
+		p.etag, p.lastMod = etag, lastMod
+		return nil
+	}
+	if p.etag != "" && etag != "" && etag != p.etag {
+		return fmt.Errorf("%w: %w: ETag %q, index opened with %q", errPermanent, ErrOriginChanged, etag, p.etag)
+	}
+	if p.etag == "" && lastMod != "" && lastMod != p.lastMod {
+		return fmt.Errorf("%w: %w: Last-Modified %q, index opened with %q", errPermanent, ErrOriginChanged, lastMod, p.lastMod)
+	}
+	return nil
 }
 
 // errPermanent marks fetch failures retrying cannot fix (bad request, 404,

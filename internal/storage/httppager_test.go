@@ -26,6 +26,7 @@ const (
 	faultHang          // stall past the client timeout before replying
 	faultShort         // declare the full range but send only half the bytes
 	faultCorrupt       // flip a bit in the served range (corrupting proxy)
+	fault404           // reply 404 Not Found (permanent: not retried)
 )
 
 // flakyIndexServer serves an index file image over HTTP ranges with
@@ -68,6 +69,9 @@ func (s *flakyIndexServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch s.pop() {
 	case fault503:
 		http.Error(w, "temporarily unavailable", http.StatusServiceUnavailable)
+		return
+	case fault404:
+		http.Error(w, "gone", http.StatusNotFound)
 		return
 	case faultHang:
 		time.Sleep(s.hang)

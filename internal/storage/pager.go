@@ -57,6 +57,16 @@ type Pager interface {
 	Close() error
 }
 
+// PageRangeReader is the optional coalescing interface of a Pager: reading n
+// consecutive pages in one substrate operation. Callers type-assert for it
+// and fall back to per-page ReadPage; only substrates where a round trip
+// dominates a page (HTTPPager) implement it.
+type PageRangeReader interface {
+	// ReadPageRange reads pages [first, first+n) and returns one slice per
+	// page, each PageSize bytes, valid until the caller releases them.
+	ReadPageRange(first PageID, n int) ([][]byte, error)
+}
+
 // Stats are cumulative physical I/O counters for a pager.
 type Stats struct {
 	Reads  int64 // physical page reads

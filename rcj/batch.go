@@ -1,0 +1,148 @@
+package rcj
+
+import (
+	"context"
+	"iter"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// EffectiveAlgorithm resolves the algorithm the query will actually run:
+// Algorithm verbatim when forced or non-zero, otherwise the INJ default is
+// overridden to OBJ (the paper's dominant algorithm). Two queries batch
+// together only when they resolve to the same algorithm.
+func (q Query) EffectiveAlgorithm() Algorithm { return q.algorithm() }
+
+// BatchEnvelope returns the loosest query covering every member of a batch:
+// one traversal of the envelope visits every pair any member wants, so each
+// member's exact result is the envelope stream post-filtered with its own
+// Matches — sound because every pushdown predicate is proven set-identical
+// to post-filtering. Result-shaping fields (TopK, Limit, SortByDiameter,
+// Stats) are zeroed: set-level truncation is per-member, handled by the
+// demultiplexer. Algorithm, ForceAlgorithm and Parallelism are taken from
+// the first member; callers group members so those agree.
+func BatchEnvelope(qs []Query) Query {
+	if len(qs) == 0 {
+		return Query{}
+	}
+	env := Query{
+		Algorithm:      qs[0].Algorithm,
+		ForceAlgorithm: qs[0].ForceAlgorithm,
+		Parallelism:    qs[0].Parallelism,
+		MaxDiameter:    qs[0].MaxDiameter,
+		MinDistance:    qs[0].MinDistance,
+	}
+	var region *Rect
+	if qs[0].Region != nil {
+		r := *qs[0].Region
+		region = &r
+	}
+	for _, q := range qs[1:] {
+		// MaxDiameter: any unbounded member unbounds the envelope; else max.
+		if env.MaxDiameter > 0 && (q.MaxDiameter == 0 || q.MaxDiameter > env.MaxDiameter) {
+			env.MaxDiameter = q.MaxDiameter
+		}
+		// MinDistance: any member without a floor drops the envelope's; else min.
+		if env.MinDistance > 0 && q.MinDistance < env.MinDistance {
+			env.MinDistance = q.MinDistance
+		}
+		// Region: any member without a window unbounds the envelope; else union.
+		if region != nil {
+			if q.Region == nil {
+				region = nil
+			} else {
+				region.MinX = math.Min(region.MinX, q.Region.MinX)
+				region.MinY = math.Min(region.MinY, q.Region.MinY)
+				region.MaxX = math.Max(region.MaxX, q.Region.MaxX)
+				region.MaxY = math.Max(region.MaxY, q.Region.MaxY)
+			}
+		}
+	}
+	env.Region = region
+	return env
+}
+
+// Canonical returns a stable textual form of the query's result-shaping
+// fields — resolved algorithm, parallelism, predicates, TopK, Limit — for
+// use as a cache key: two queries with equal Canonical strings produce the
+// same result set over the same index generation. Float predicates are
+// rendered by exact bit pattern, so no two distinct bounds collide.
+func (q Query) Canonical() string {
+	var b strings.Builder
+	b.WriteString("alg=")
+	b.WriteString(q.algorithm().String())
+	b.WriteString(";par=")
+	b.WriteString(strconv.Itoa(q.Parallelism))
+	b.WriteString(";md=")
+	b.WriteString(strconv.FormatUint(math.Float64bits(q.MaxDiameter), 16))
+	b.WriteString(";mind=")
+	b.WriteString(strconv.FormatUint(math.Float64bits(q.MinDistance), 16))
+	b.WriteString(";reg=")
+	if r := q.Region; r != nil {
+		b.WriteString(strconv.FormatUint(math.Float64bits(r.MinX), 16))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatUint(math.Float64bits(r.MinY), 16))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatUint(math.Float64bits(r.MaxX), 16))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatUint(math.Float64bits(r.MaxY), 16))
+	} else {
+		b.WriteString("nil")
+	}
+	b.WriteString(";k=")
+	b.WriteString(strconv.Itoa(q.TopK))
+	b.WriteString(";lim=")
+	b.WriteString(strconv.Itoa(q.Limit))
+	return b.String()
+}
+
+// RunBatches is Run at the executor's leaf granularity: instead of one pair
+// per element, the iterator yields the confirmed survivors of each
+// verification batch (one slice per TQ leaf under OBJ/BIJ; TopK arrives as
+// one final slice in ranking order). Concatenating the slices of a
+// sequential run reproduces Run's stream exactly. This is the traversal
+// the scheduler's cross-request batching demultiplexes: each member filters
+// every slice with its own Query.Matches.
+func (e *Engine) RunBatches(ctx context.Context, q, p *Index, qry Query) iter.Seq2[[]Pair, error] {
+	return batchSeq(ctx, q, p, qry, false)
+}
+
+// RunSelfBatches is RunBatches for the self-join of one dataset.
+func (e *Engine) RunSelfBatches(ctx context.Context, ix *Index, qry Query) iter.Seq2[[]Pair, error] {
+	return batchSeq(ctx, ix, ix, qry, true)
+}
+
+// batchSeq is querySeq with batch-granular emission: the producer converts
+// each core batch once and hands the slice over the stream bridge, so the
+// whole-batch cost is one channel send instead of one per pair.
+func batchSeq(ctx context.Context, q, p *Index, qry Query, self bool) iter.Seq2[[]Pair, error] {
+	if err := qry.Validate(); err != nil {
+		return func(yield func([]Pair, error) bool) { yield(nil, err) }
+	}
+	return stream.Seq2(ctx, streamBuffer, func(runCtx context.Context, emit func([]Pair)) error {
+		coreOpts := qry.coreOptions(self)
+		coreOpts.OnBatch = func(cb []core.Pair) {
+			out := make([]Pair, len(cb))
+			for i, cp := range cb {
+				out[i] = fromCorePair(cp)
+			}
+			emit(out)
+		}
+		var rec buffer.TagStats
+		tq := q.tree.Tagged(&rec)
+		tp := tq
+		if p.tree != q.tree {
+			tp = p.tree.Tagged(&rec)
+		}
+		_, st, err := core.JoinContext(runCtx, tq, tp, coreOpts)
+		if qry.Stats != nil {
+			*qry.Stats = statsFrom(st, &rec)
+		}
+		return err
+	})
+}

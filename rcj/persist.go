@@ -31,6 +31,11 @@ type HTTPConfig = storage.HTTPPagerConfig
 // RemoteStats are the transfer counters of an http-backend index.
 type RemoteStats = storage.RemoteStats
 
+// ErrOriginChanged surfaces from joins over a remote index whose origin
+// started serving a different file mid-session (ETag/Last-Modified
+// mismatch): the index must be reopened to pick up the new build.
+var ErrOriginChanged = storage.ErrOriginChanged
+
 // PrefetchStats are the readahead counters of an index with async prefetch.
 type PrefetchStats = buffer.PrefetchStats
 
