@@ -70,6 +70,8 @@ func main() {
 		batchMax      = flag.Int("batch-max", sched.DefaultBatchMaxRequests, "max requests one shared traversal may serve")
 		cacheEntries  = flag.Int("result-cache", 256, "memoized result sets for bounded (top_k/limit) queries (0 = off)")
 		cachePairs    = flag.Int("result-cache-pairs", server.DefaultResultCachePairs, "max pairs per memoized result")
+		nodeCache     = flag.Int("node-cache", 0, "second-level decoded-node cache in nodes, serving buffer misses without re-reading pages (0 = off)")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
 	)
 	indexes := map[string]string{}
 	flag.Func("index", "saved index to serve, as name=path.rcjx or name=https://host/ix.rcjx (repeatable)", func(v string) error {
@@ -99,11 +101,13 @@ func main() {
 	defer stop()
 
 	err = server.RunDaemon(ctx, server.DaemonConfig{
-		Addr:         *addr,
-		Indexes:      indexes,
-		Backend:      be,
-		BufferPages:  *bufPages,
-		BufferShards: *bufShards,
+		Addr:           *addr,
+		Indexes:        indexes,
+		Backend:        be,
+		BufferPages:    *bufPages,
+		BufferShards:   *bufShards,
+		NodeCachePages: *nodeCache,
+		PprofAddr:      *pprofAddr,
 		Sched: sched.Config{
 			MaxConcurrent: *maxConcurrent,
 			MaxQueue:      *maxQueue,

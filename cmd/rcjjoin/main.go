@@ -20,6 +20,10 @@
 //	rcjjoin -p a.csv -q b.csv -save-index-p a.rcjx -save-index-q b.rcjx > out.csv
 //	rcjjoin -p a.rcjx -q b.rcjx -backend mmap > out.csv
 //
+//	# Same, but write the compact packed v3 format (delta/varint leaf
+//	# pages); every backend reads it transparently:
+//	rcjjoin -p a.csv -q b.csv -save-index-p a.rcjx -save-packed > out.csv
+//
 //	# Join saved indexes served by any range-capable HTTP server — no
 //	# shared filesystem; pages fetch lazily, checksum-verified, with async
 //	# readahead:
@@ -46,6 +50,8 @@ import (
 	"iter"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -67,6 +73,7 @@ func main() {
 		bufPages = flag.Int("buffer", 0, "shared buffer pool size in pages (0 = unbounded)")
 		saveP    = flag.String("save-index-p", "", "after building P's index, save it to this file (skip the build next run by passing it as -p)")
 		saveQ    = flag.String("save-index-q", "", "after building Q's index, save it to this file")
+		savePack = flag.Bool("save-packed", false, "write -save-index-* files in the packed v3 format (compressed leaf pages, ~half the size)")
 		backend  = flag.String("backend", "file", "pager backend for saved-index inputs: mem, file, mmap, or http (implied by URL inputs)")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 		topK     = flag.Int("top-k", 0, "return only the k tightest pairs, in ascending ring-diameter order (pushdown)")
@@ -74,8 +81,41 @@ func main() {
 		minDist  = flag.Float64("min-distance", 0, "drop pairs whose points are closer than this")
 		limit    = flag.Int("limit", 0, "stop after this many pairs")
 		region   = flag.String("region", "", "window the middleman location must fall in, as minX,minY,maxX,maxY (pushdown)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		profileStops = append(profileStops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+		defer stopProfiles()
+	}
+	if *memProf != "" {
+		path := *memProf
+		profileStops = append(profileStops, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rcjjoin: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rcjjoin: -memprofile: %v\n", err)
+			}
+		})
+		defer stopProfiles()
+	}
 
 	if *pPath == "" || (!*self && *qPath == "") {
 		fmt.Fprintln(os.Stderr, "rcjjoin: -p is required, and -q unless -self")
@@ -127,7 +167,7 @@ func main() {
 
 	eng := rcj.NewEngine(rcj.EngineConfig{BufferPages: *bufPages})
 	loadIndex := func(path, save string) *rcj.Index {
-		return loadOrOpenIndex(eng, path, be, save)
+		return loadOrOpenIndex(eng, path, be, save, *savePack)
 	}
 	ixP := loadIndex(*pPath, *saveP)
 	defer ixP.Close()
@@ -266,8 +306,9 @@ func reportRemote() {
 // through the chosen backend with no build; anything else is read as a CSV
 // pointset and indexed. When save is non-empty the index is persisted there,
 // so the next run can pass the saved file instead of the CSV and skip the
-// build entirely.
-func loadOrOpenIndex(eng *rcj.Engine, path string, backend rcj.Backend, save string) *rcj.Index {
+// build entirely. savePacked selects the packed (v3, compressed) format for
+// that file; saved indexes of either format reopen identically.
+func loadOrOpenIndex(eng *rcj.Engine, path string, backend rcj.Backend, save string, savePacked bool) *rcj.Index {
 	var ix *rcj.Index
 	if rcj.IsIndexURL(path) || rcj.IsIndexFile(path) {
 		var err error
@@ -297,10 +338,14 @@ func loadOrOpenIndex(eng *rcj.Engine, path string, backend rcj.Backend, save str
 		}
 	}
 	if save != "" {
-		if err := ix.Save(save); err != nil {
+		saveFn, format := ix.Save, "v2"
+		if savePacked {
+			saveFn, format = ix.SavePacked, "packed v3"
+		}
+		if err := saveFn(save); err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "rcjjoin: saved index %s (%d points)\n", save, ix.Len())
+		fmt.Fprintf(os.Stderr, "rcjjoin: saved index %s (%d points, %s)\n", save, ix.Len(), format)
 	}
 	return ix
 }
@@ -336,7 +381,20 @@ func writePair(cw *csv.Writer, pid, qid int64, cx, cy, r float64) {
 	}
 }
 
+// profileStops flushes the -cpuprofile/-memprofile outputs; run from the
+// deferred success path and from fatalf (os.Exit skips defers, and a
+// truncated CPU profile is useless).
+var profileStops []func()
+
+func stopProfiles() {
+	for _, fn := range profileStops {
+		fn()
+	}
+	profileStops = nil
+}
+
 func fatalf(format string, args ...any) {
+	stopProfiles()
 	fmt.Fprintf(os.Stderr, "rcjjoin: "+format+"\n", args...)
 	os.Exit(1)
 }

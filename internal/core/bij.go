@@ -16,13 +16,21 @@ func bulkFilterStage(symmetric bool) filterStage {
 		if err != nil {
 			return err
 		}
-		var cands []*candidate
+		total := 0
+		for _, bq := range queries {
+			total += len(bq.cands)
+		}
+		// One backing array for the whole leaf's candidates instead of a heap
+		// allocation per pair.
+		backing := make([]candidate, 0, total)
+		cands := make([]*candidate, 0, total)
 		for _, bq := range queries {
 			for _, p := range bq.cands {
-				cands = append(cands, &candidate{
+				backing = append(backing, candidate{
 					pair:  Pair{P: p, Q: bq.q, Circle: geom.EnclosingCircle(p.P, bq.q.P)},
 					alive: true,
 				})
+				cands = append(cands, &backing[len(backing)-1])
 			}
 		}
 		return sink(cands)

@@ -104,8 +104,13 @@ func anyInCircleRec(t SpatialIndex, id storage.PageID, c geom.Circle, ex1, ex2 i
 		return false, err
 	}
 	if n.Leaf {
-		for _, e := range n.Points {
-			if e.ID != ex1 && e.ID != ex2 && c.Covers(e.P) {
+		// Hoisted form of c.Covers over the coordinate columns (see verify).
+		cx, cy := c.Center.X, c.Center.Y
+		r2 := c.Radius * c.Radius * (1 + geom.CoverTol)
+		xs, ys := n.Xs, n.Ys
+		for i, eid := range n.IDs {
+			dx, dy := cx-xs[i], cy-ys[i]
+			if dx*dx+dy*dy <= r2 && eid != ex1 && eid != ex2 {
 				return true, nil
 			}
 		}

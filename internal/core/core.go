@@ -188,6 +188,11 @@ type Stats struct {
 	// TopK's dynamic bound, Region) discarded without reading — the
 	// observable work pushdown saved versus the unconstrained join.
 	NodesPruned int64
+	// BoundKilledCandidates counts filtered candidates dropped at the start
+	// of verification because the diameter bound had tightened past them
+	// since they were filtered (TopK's dynamic bound) — verification work
+	// the bound saved beyond filtering.
+	BoundKilledCandidates int64
 }
 
 // Join computes the ring-constrained join of the pointsets indexed by tq
@@ -219,6 +224,17 @@ type joiner struct {
 	stats  Stats
 	out    []Pair
 	batch  []Pair // survivors of the current verification batch (OnBatch only)
+
+	// Per-worker scratch reused across filter calls (a joiner is never used
+	// concurrently): the traversal heap, the Ψ− pruner set, the candidate
+	// slice returned by filter, and the bulk filter's per-query state (whose
+	// pruner sets and candidate slices would otherwise be the dominant
+	// steady-state allocation — one per leaf point per leaf). Reuse removes
+	// the dominant steady-state allocations of the warm join path.
+	fheap       filterHeap
+	pruners     geom.PrunerSet
+	candScratch []rtree.PointEntry
+	bulkScratch []bulkQuery
 }
 
 // emit records a confirmed result pair. Under TopK the pair enters the

@@ -69,7 +69,7 @@ func (j *joiner) execute(ctx context.Context) ([]Pair, Stats, error) {
 		err = j.runParallel()
 	default:
 		err = j.forEachQLeaf(func(n *rtree.Node) error {
-			return j.processLeaf(n.Points)
+			return j.processLeaf(n.Points())
 		})
 	}
 	if errors.Is(err, errLimitReached) {
@@ -101,6 +101,7 @@ func (j *joiner) processLeaf(points []rtree.PointEntry) error {
 // against both trees and the survivors are emitted.
 func (j *joiner) verifyAndEmit(cands []*candidate) error {
 	j.stats.Candidates += int64(len(cands))
+	j.boundBatch(cands)
 	if !j.opts.SkipVerification {
 		if err := j.verify(j.tq, cands, sideQ); err != nil {
 			return err

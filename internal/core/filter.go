@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/geom"
@@ -25,29 +24,91 @@ type filterItem struct {
 	point   rtree.PointEntry
 }
 
+// filterHeap is a min-heap of filterItem by distance, points before subtrees
+// at equal keys. It is hand-rolled rather than built on container/heap: the
+// interface indirection there boxes every pushed item into a heap allocation,
+// and the filter pushes one item per leaf point touched — the dominant
+// allocation of a warm join. The sift procedures mirror container/heap's
+// exactly, so the pop order (tie handling included) is identical to the
+// previous implementation and every equivalence gate stays byte-identical.
 type filterHeap []filterItem
 
-func (h filterHeap) Len() int { return len(h) }
-func (h filterHeap) Less(i, j int) bool {
+func (h filterHeap) less(i, j int) bool {
 	if h[i].dist2 != h[j].dist2 {
 		return h[i].dist2 < h[j].dist2
 	}
 	return h[i].isPoint && !h[j].isPoint
 }
-func (h filterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *filterHeap) Push(x any)   { *h = append(*h, x.(filterItem)) }
-func (h *filterHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+
+func (h *filterHeap) push(it filterItem) {
+	*h = append(*h, it)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *filterHeap) pop() filterItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s.less(j2, j1) {
+			j = j2
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*h = s[:n]
 	return it
+}
+
+// pushLeafPoints expands a leaf node onto the heap: one pass over the
+// coordinate columns with the squared distance from (rx, ry) computed
+// inline — no per-entry struct reads, no interface boxing.
+func (h *filterHeap) pushLeafPoints(n *rtree.Node, rx, ry float64) {
+	xs, ys := n.Xs, n.Ys
+	for i, id := range n.IDs {
+		dx, dy := rx-xs[i], ry-ys[i]
+		h.push(filterItem{
+			dist2:   dx*dx + dy*dy,
+			isPoint: true,
+			point:   rtree.PointEntry{P: geom.Point{X: xs[i], Y: ys[i]}, ID: id},
+		})
+	}
+}
+
+// pushChildren expands an internal node onto the heap keyed by MINDIST from
+// (the point) ref.
+func (h *filterHeap) pushChildren(n *rtree.Node, ref geom.Point) {
+	for _, e := range n.Children {
+		h.push(filterItem{dist2: e.MBR.MinDist2(ref), page: e.Child, rect: e.MBR})
+	}
 }
 
 // filter is Algorithm 2: it discovers points of TP in ascending distance from
 // q (incremental NN order, maximizing pruning power of the earliest
 // discoveries) and returns those not pruned by any Ψ−(q, p) of an earlier
 // candidate p. Every returned point is itself installed as a pruner.
+//
+// The returned slice is scratch owned by the joiner, valid until the next
+// filter/bulkFilter call.
 //
 // For self-joins the query point q is present in TP; it is skipped (a point
 // forms no pair with itself and its degenerate pruning region would
@@ -56,14 +117,14 @@ func (j *joiner) filter(q rtree.PointEntry) ([]rtree.PointEntry, error) {
 	if j.tp.Root() == storage.InvalidPageID {
 		return nil, nil
 	}
-	var (
-		prs   geom.PrunerSet
-		cands []rtree.PointEntry
-		h     = filterHeap{{dist2: 0, page: j.tp.Root(), rect: geom.EmptyRect()}}
-	)
-	heap.Init(&h)
-	for h.Len() > 0 {
-		item := heap.Pop(&h).(filterItem)
+	j.pruners.Reset()
+	prs := &j.pruners
+	cands := j.candScratch[:0]
+	h := j.fheap[:0]
+	h.push(filterItem{dist2: 0, page: j.tp.Root(), rect: geom.EmptyRect()})
+	defer func() { j.fheap = h[:0] }()
+	for len(h) > 0 {
+		item := h.pop()
 		j.stats.FilterHeapPops++
 		if bound := j.maxPairDiameter(); !math.IsInf(bound, 1) && math.Sqrt(item.dist2) > bound*boundSlack {
 			// The heap pops in ascending distance from q, so everything
@@ -110,15 +171,12 @@ func (j *joiner) filter(q rtree.PointEntry) ([]rtree.PointEntry, error) {
 			return nil, err
 		}
 		if n.Leaf {
-			for _, e := range n.Points {
-				heap.Push(&h, filterItem{dist2: q.P.Dist2(e.P), isPoint: true, point: e})
-			}
+			h.pushLeafPoints(n, q.P.X, q.P.Y)
 		} else {
-			for _, e := range n.Children {
-				heap.Push(&h, filterItem{dist2: e.MBR.MinDist2(q.P), page: e.Child, rect: e.MBR})
-			}
+			h.pushChildren(n, q.P)
 		}
 	}
+	j.candScratch = cands
 	return cands, nil
 }
 
@@ -139,14 +197,27 @@ type bulkQuery struct {
 // With symmetric pruning (OBJ, Lemma 5), each query point's pruner set is
 // pre-seeded with Ψ−(q, q') for every sibling q' in the leaf, so even an
 // empty candidate set shrinks the search space.
-func (j *joiner) bulkFilter(leafPoints []rtree.PointEntry, symmetric bool) ([]*bulkQuery, error) {
+func (j *joiner) bulkFilter(leafPoints []rtree.PointEntry, symmetric bool) ([]bulkQuery, error) {
 	if len(leafPoints) == 0 || j.tp.Root() == storage.InvalidPageID {
 		return nil, nil
 	}
-	queries := make([]*bulkQuery, len(leafPoints))
+	// Reuse the per-query state across leaves: the pruner sets and candidate
+	// slices keep their capacity, so a steady-state leaf allocates nothing
+	// here. The previous call's queries were fully drained by the filter
+	// stage before it returned (the stage copies candidates into its own
+	// batch), so clobbering them is safe.
+	queries := j.bulkScratch
+	if cap(queries) < len(leafPoints) {
+		queries = make([]bulkQuery, len(leafPoints))
+	} else {
+		queries = queries[:len(leafPoints)]
+	}
+	j.bulkScratch = queries
 	var centroid geom.Point
 	for i, q := range leafPoints {
-		queries[i] = &bulkQuery{q: q}
+		queries[i].q = q
+		queries[i].pruners.Reset()
+		queries[i].cands = queries[i].cands[:0]
 		centroid.X += q.P.X
 		centroid.Y += q.P.Y
 	}
@@ -157,7 +228,8 @@ func (j *joiner) bulkFilter(leafPoints []rtree.PointEntry, symmetric bool) ([]*b
 		// Lemma 5: seed each query's pruner set with its leaf siblings.
 		// Strict half-planes keep the rule sound when a sibling is itself a
 		// candidate (self-joins) — it lies exactly on its own boundary line.
-		for _, bq := range queries {
+		for qi := range queries {
+			bq := &queries[qi]
 			for _, other := range leafPoints {
 				if other.ID != bq.q.ID {
 					bq.pruners.AddStrict(bq.q.P, other.P)
@@ -167,10 +239,11 @@ func (j *joiner) bulkFilter(leafPoints []rtree.PointEntry, symmetric bool) ([]*b
 	}
 
 	constrained := j.opts.hasPredicates()
-	h := filterHeap{{dist2: 0, page: j.tp.Root(), rect: geom.EmptyRect()}}
-	heap.Init(&h)
-	for h.Len() > 0 {
-		item := heap.Pop(&h).(filterItem)
+	h := j.fheap[:0]
+	h.push(filterItem{dist2: 0, page: j.tp.Root(), rect: geom.EmptyRect()})
+	defer func() { j.fheap = h[:0] }()
+	for len(h) > 0 {
+		item := h.pop()
 		j.stats.FilterHeapPops++
 		// The bulk traversal is ordered by centroid distance, not per-query
 		// distance, so the bound cannot end the whole traversal; instead
@@ -178,7 +251,9 @@ func (j *joiner) bulkFilter(leafPoints []rtree.PointEntry, symmetric bool) ([]*b
 		bound := j.maxPairDiameter()
 		bounded := !math.IsInf(bound, 1)
 		if item.isPoint {
-			for _, bq := range queries {
+			px, py := item.point.P.X, item.point.P.Y
+			for qi := range queries {
+				bq := &queries[qi]
 				if j.opts.SelfJoin && item.point.ID == bq.q.ID {
 					continue
 				}
@@ -200,14 +275,15 @@ func (j *joiner) bulkFilter(leafPoints []rtree.PointEntry, symmetric bool) ([]*b
 					bq.cands = append(bq.cands, item.point)
 				}
 				// MinDistance/Region exclusions still prune (see filter).
-				bq.pruners.Add(bq.q.P, item.point.P)
+				bq.pruners.Add(bq.q.P, geom.Point{X: px, Y: py})
 			}
 			continue
 		}
 		if !item.rect.IsEmpty() {
 			prunedForAll := true
 			predicatesOnly := true
-			for _, bq := range queries {
+			for qi := range queries {
+				bq := &queries[qi]
 				if (bounded && math.Sqrt(item.rect.MinDist2(bq.q.P)) > bound*boundSlack) ||
 					j.regionPrunesRect(bq.q.P, item.rect) {
 					// Dead for this query point by predicate alone.
@@ -234,13 +310,9 @@ func (j *joiner) bulkFilter(leafPoints []rtree.PointEntry, symmetric bool) ([]*b
 			return nil, err
 		}
 		if n.Leaf {
-			for _, e := range n.Points {
-				heap.Push(&h, filterItem{dist2: centroid.Dist2(e.P), isPoint: true, point: e})
-			}
+			h.pushLeafPoints(n, centroid.X, centroid.Y)
 		} else {
-			for _, e := range n.Children {
-				heap.Push(&h, filterItem{dist2: e.MBR.MinDist2(centroid), page: e.Child, rect: e.MBR})
-			}
+			h.pushChildren(n, centroid)
 		}
 	}
 	return queries, nil

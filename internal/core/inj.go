@@ -34,12 +34,16 @@ func (j *joiner) filterOne(q rtree.PointEntry) ([]*candidate, error) {
 	if err != nil {
 		return nil, err
 	}
-	cands := make([]*candidate, 0, len(candsP))
-	for _, p := range candsP {
-		cands = append(cands, &candidate{
+	// One backing array for the whole batch instead of a heap allocation per
+	// candidate pair.
+	backing := make([]candidate, len(candsP))
+	cands := make([]*candidate, len(candsP))
+	for i, p := range candsP {
+		backing[i] = candidate{
 			pair:  Pair{P: p, Q: q, Circle: geom.EnclosingCircle(p.P, q.P)},
 			alive: true,
-		})
+		}
+		cands[i] = &backing[i]
 	}
 	return cands, nil
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 
 	"repro/internal/geom"
@@ -94,7 +93,8 @@ func JoinL1(tq, tp SpatialIndex, opts Options) ([]L1Pair, Stats, error) {
 func JoinL1Context(ctx context.Context, tq, tp SpatialIndex, opts Options) ([]L1Pair, Stats, error) {
 	j := &l1Joiner{tq: tq, tp: tp, opts: opts, ctx: ctx}
 	err := tq.VisitLeaves(func(n *rtree.Node) error {
-		for _, q := range n.Points {
+		for i := 0; i < n.NumPoints(); i++ {
+			q := n.EntryAt(i)
 			if err := ctxDone(j.ctx); err != nil {
 				return err
 			}
@@ -182,11 +182,11 @@ func (j *l1Joiner) filter(q rtree.PointEntry) ([]rtree.PointEntry, error) {
 	var (
 		pruners []l1Pruner
 		cands   []rtree.PointEntry
-		h       = filterHeap{{dist2: 0, page: j.tp.Root(), rect: geom.EmptyRect()}}
+		h       filterHeap
 	)
-	heap.Init(&h)
-	for h.Len() > 0 {
-		item := heap.Pop(&h).(filterItem)
+	h.push(filterItem{dist2: 0, page: j.tp.Root(), rect: geom.EmptyRect()})
+	for len(h) > 0 {
+		item := h.pop()
 		j.stats.FilterHeapPops++
 		if item.isPoint {
 			if j.opts.SelfJoin && item.point.ID == q.ID {
@@ -225,12 +225,14 @@ func (j *l1Joiner) filter(q rtree.PointEntry) ([]rtree.PointEntry, error) {
 			return nil, err
 		}
 		if n.Leaf {
-			for _, e := range n.Points {
-				heap.Push(&h, filterItem{dist2: q.P.L1Dist(e.P), isPoint: true, point: e})
+			xs, ys := n.Xs, n.Ys
+			for i, id := range n.IDs {
+				p := geom.Point{X: xs[i], Y: ys[i]}
+				h.push(filterItem{dist2: q.P.L1Dist(p), isPoint: true, point: rtree.PointEntry{P: p, ID: id}})
 			}
 		} else {
 			for _, e := range n.Children {
-				heap.Push(&h, filterItem{dist2: rectMinL1(e.MBR, q.P), page: e.Child, rect: e.MBR})
+				h.push(filterItem{dist2: rectMinL1(e.MBR, q.P), page: e.Child, rect: e.MBR})
 			}
 		}
 	}
@@ -266,8 +268,9 @@ func (j *l1Joiner) anyRec(t SpatialIndex, id storage.PageID, b geom.L1Circle, ex
 	}
 	j.stats.VerifiedNodes++
 	if n.Leaf {
-		for _, e := range n.Points {
-			if e.ID != ex1 && e.ID != ex2 && b.Covers(e.P) {
+		xs, ys := n.Xs, n.Ys
+		for i, eid := range n.IDs {
+			if eid != ex1 && eid != ex2 && b.Covers(geom.Point{X: xs[i], Y: ys[i]}) {
 				return true, nil
 			}
 		}

@@ -82,7 +82,7 @@ func (j *joiner) runParallel() error {
 					fail(err)
 					return
 				}
-				if err := worker.processLeaf(n.Points); err != nil {
+				if err := worker.processLeaf(n.Points()); err != nil {
 					fail(err)
 					return
 				}
@@ -109,6 +109,7 @@ feed:
 		j.stats.VerifiedNodes += w.stats.VerifiedNodes
 		j.stats.OuterLeaves += w.stats.OuterLeaves
 		j.stats.NodesPruned += w.stats.NodesPruned
+		j.stats.BoundKilledCandidates += w.stats.BoundKilledCandidates
 	}
 	if firstErr != nil {
 		// A satisfied Limit stops the feeder and workers through the same

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/geom"
+	"repro/internal/rtree"
 )
 
 // postFilter applies the query predicates of opts to an unconstrained result
@@ -223,4 +224,58 @@ func TestTopKDynamicBoundTightens(t *testing.T) {
 		t.Errorf("top-5 verified %d candidates, unconstrained %d — candidate pruning never engaged",
 			topk.Candidates, full.Candidates)
 	}
+}
+
+// TestBoundBatchKillsStaleCandidates unit-tests the verification-time bound
+// re-check: candidates filtered under an older, looser bound are killed
+// before any tree descent once the dynamic bound has tightened past them,
+// ties with the bound survive (slack), and TopK batches are reordered into
+// ranking order so survivors are offered tightest-first.
+func TestBoundBatchKillsStaleCandidates(t *testing.T) {
+	mk := func(r float64, id int64) *candidate {
+		return &candidate{alive: true, pair: Pair{
+			P:      rtree.PointEntry{ID: id},
+			Q:      rtree.PointEntry{ID: id},
+			Circle: geom.Circle{Radius: r},
+		}}
+	}
+
+	t.Run("static bound is a no-op", func(t *testing.T) {
+		j := &joiner{opts: Options{MaxDiameter: 100}}
+		cands := []*candidate{mk(50, 1), mk(10, 2)} // diameters 100, 20: both admissible
+		j.boundBatch(cands)
+		if !cands[0].alive || !cands[1].alive {
+			t.Fatal("candidate within the static bound killed")
+		}
+		if cands[0].pair.P.ID != 1 {
+			t.Fatal("non-TopK batch reordered")
+		}
+		if j.stats.BoundKilledCandidates != 0 {
+			t.Fatalf("BoundKilledCandidates = %d", j.stats.BoundKilledCandidates)
+		}
+	})
+
+	t.Run("tightened dynamic bound kills and reorders", func(t *testing.T) {
+		j := &joiner{opts: Options{TopK: 2}}
+		j.shared = newRunShared(j.opts)
+		// Fill the heap so the published bound tightens to diameter 40.
+		j.shared.topk.offer(mk(10, 100).pair)
+		j.shared.topk.offer(mk(20, 101).pair)
+		// A batch filtered before the tightening: diameters 90, 40, 30.
+		cands := []*candidate{mk(45, 1), mk(20, 2), mk(15, 3)}
+		j.boundBatch(cands)
+		if cands[len(cands)-1].alive {
+			t.Fatal("stale candidate beyond the tightened bound survived")
+		}
+		if j.stats.BoundKilledCandidates != 1 {
+			t.Fatalf("BoundKilledCandidates = %d, want 1", j.stats.BoundKilledCandidates)
+		}
+		// Tie with the bound (diameter 40 == 2×worst radius 20) survives.
+		// Batch reordered ascending: 30, 40, then the dead 90.
+		if !cands[0].alive || cands[0].pair.P.ID != 3 || !cands[1].alive || cands[1].pair.P.ID != 2 {
+			t.Fatalf("batch not in ranking order: ids %d,%d,%d alive %v,%v,%v",
+				cands[0].pair.P.ID, cands[1].pair.P.ID, cands[2].pair.P.ID,
+				cands[0].alive, cands[1].alive, cands[2].alive)
+		}
+	})
 }

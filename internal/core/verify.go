@@ -1,6 +1,9 @@
 package core
 
 import (
+	"math"
+	"sort"
+
 	"repro/internal/geom"
 	"repro/internal/rtree"
 	"repro/internal/storage"
@@ -57,6 +60,43 @@ func (j *joiner) excludedIDs(c *candidate, s side) (int64, int64) {
 // as Section 3.2 suggests, instead of the nested loop.
 const sweepThreshold = 256
 
+// boundBatch applies the diameter bound at verification time, not just at
+// filter time. Two effects:
+//
+//   - Candidates admitted when they were filtered but strictly beyond the
+//     CURRENT bound are killed before either tree is traversed. With a static
+//     MaxDiameter this is a no-op (the filter already enforced the same
+//     bound), but a TopK run's dynamic bound tightens continuously — under
+//     parallelism even between the filter and verify stages of one batch —
+//     and every stale candidate dropped here saves a full two-tree descent.
+//   - For TopK runs the batch is reordered into the ranking order
+//     (ascending diameter), so verification survivors are offered to the
+//     heap tightest-first and the published bound contracts as early as
+//     possible for everyone still filtering. TopK emission is deferred to
+//     flushTopK, so the reorder is invisible in the output; runs with
+//     observable streaming order (Limit, plain MaxDiameter) are not
+//     reordered.
+//
+// The kill uses the boundSlack-widened bound, like every traversal-level
+// check: under-pruning a boundary tie is free, over-pruning would break the
+// post-filter set identity.
+func (j *joiner) boundBatch(cands []*candidate) {
+	bound := j.maxPairDiameter()
+	if math.IsInf(bound, 1) {
+		return
+	}
+	limit := bound * boundSlack
+	for _, c := range cands {
+		if c.alive && 2*c.pair.Circle.Radius > limit {
+			c.alive = false
+			j.stats.BoundKilledCandidates++
+		}
+	}
+	if j.shared != nil && j.shared.topk != nil {
+		sort.Slice(cands, func(a, b int) bool { return pairBefore(cands[a].pair, cands[b].pair) })
+	}
+}
+
 // verify runs Algorithm 3 for all alive candidates against tree t, marking
 // killed candidates dead. Candidates whose circles were already removed are
 // skipped for free.
@@ -89,13 +129,22 @@ func (j *joiner) verifyNode(t SpatialIndex, page storage.PageID, cands []*candid
 	}
 	j.stats.VerifiedNodes++
 	if n.Leaf {
+		// Tight kernel over the leaf's coordinate columns. The containment
+		// test is geom.Circle.Covers with the center/radius loads hoisted out
+		// of the loop (bit-identical: Dist2 computes dx*dx+dy*dy the same
+		// way). The distance test runs first — most points fail it, so the id
+		// exclusions are rarely evaluated.
+		xs, ys, ids := n.Xs, n.Ys, n.IDs
 		for _, c := range cands {
 			if !c.alive {
 				continue
 			}
 			ex1, ex2 := j.excludedIDs(c, s)
-			for _, e := range n.Points {
-				if e.ID != ex1 && e.ID != ex2 && c.pair.Circle.Covers(e.P) {
+			cx, cy := c.pair.Circle.Center.X, c.pair.Circle.Center.Y
+			r2 := c.pair.Circle.Radius * c.pair.Circle.Radius * (1 + geom.CoverTol)
+			for i, id := range ids {
+				dx, dy := cx-xs[i], cy-ys[i]
+				if dx*dx+dy*dy <= r2 && id != ex1 && id != ex2 {
 					c.alive = false
 					break
 				}

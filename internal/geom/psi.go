@@ -118,9 +118,25 @@ func (s *PrunerSet) Len() int { return len(s.pruners) }
 func (s *PrunerSet) Reset() { s.pruners = s.pruners[:0] }
 
 // PrunesPoint reports whether any region in the set prunes x.
+//
+// This is the hottest loop of a warm join — the bulk filter tests every
+// discovered point against every query point's set, and the sets grow with
+// every surviving discovery — so it is written as a tight kernel: the dot
+// product is inlined over an indexed loop (no 40-byte Pruner copy per
+// probe), the strict flag folds into the comparison without a branch on the
+// common d≠0 path, and a successful probe moves its pruner to the front of
+// the set. Consecutive probes are spatially adjacent (heap order ascends by
+// distance), so the half-plane that pruned the last point very likely prunes
+// the next — move-to-front keeps it first and the scan short. Reordering is
+// invisible: the set is a pure disjunction.
 func (s *PrunerSet) PrunesPoint(x Point) bool {
-	for _, pr := range s.pruners {
-		if pr.PrunesPoint(x) {
+	for i := range s.pruners {
+		pr := &s.pruners[i]
+		d := (x.X-pr.P.X)*pr.dir.X + (x.Y-pr.P.Y)*pr.dir.Y
+		if d < 0 || (d == 0 && !pr.strict) {
+			if i > 0 {
+				s.pruners[0], s.pruners[i] = s.pruners[i], s.pruners[0]
+			}
 			return true
 		}
 	}
@@ -130,10 +146,25 @@ func (s *PrunerSet) PrunesPoint(x Point) bool {
 // PrunesRect reports whether any single region in the set contains all of r.
 // (Regions may not be combined: r could straddle two half-planes whose union
 // covers it without either containing it; only containment by one region is
-// a sound rectangle prune.)
+// a sound rectangle prune.) Same kernel shape as PrunesPoint: the functional
+// is evaluated at its maximizing corner inline, and a successful probe moves
+// to the front.
 func (s *PrunerSet) PrunesRect(r Rect) bool {
-	for _, pr := range s.pruners {
-		if pr.PrunesRect(r) {
+	for i := range s.pruners {
+		pr := &s.pruners[i]
+		x := r.MinX
+		if pr.dir.X > 0 {
+			x = r.MaxX
+		}
+		y := r.MinY
+		if pr.dir.Y > 0 {
+			y = r.MaxY
+		}
+		d := (x-pr.P.X)*pr.dir.X + (y-pr.P.Y)*pr.dir.Y
+		if d < 0 || (d == 0 && !pr.strict) {
+			if i > 0 {
+				s.pruners[0], s.pruners[i] = s.pruners[i], s.pruners[0]
+			}
 			return true
 		}
 	}

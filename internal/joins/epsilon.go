@@ -49,12 +49,22 @@ func (e *epsJoiner) joinNodes(pPage, qPage storage.PageID) error {
 	}
 	switch {
 	case np.Leaf && nq.Leaf:
-		for _, p := range np.Points {
-			for _, q := range nq.Points {
-				if d2 := p.P.Dist2(q.P); d2 <= e.eps2 {
+		// Columnar leaf-leaf kernel: the distance test touches only the
+		// coordinate slices; point entries are materialized for matches alone.
+		pxs, pys, pids := np.Xs, np.Ys, np.IDs
+		qxs, qys, qids := nq.Xs, nq.Ys, nq.IDs
+		for i, pid := range pids {
+			px, py := pxs[i], pys[i]
+			for k, qid := range qids {
+				dx, dy := px-qxs[k], py-qys[k]
+				if d2 := dx*dx + dy*dy; d2 <= e.eps2 {
 					e.count++
 					if e.fn != nil {
-						e.fn(Pair{P: p, Q: q, Dist: math.Sqrt(d2)})
+						e.fn(Pair{
+							P:    rtree.PointEntry{P: geom.Point{X: px, Y: py}, ID: pid},
+							Q:    rtree.PointEntry{P: geom.Point{X: qxs[k], Y: qys[k]}, ID: qid},
+							Dist: math.Sqrt(d2),
+						})
 					}
 				}
 			}

@@ -45,8 +45,8 @@ func KClosestPairsStream(tp, tq *rtree.Tree, k int, fn func(Pair)) error {
 			}
 			qRect := it.qRect(tq)
 			if np.Leaf {
-				for _, p := range np.Points {
-					child := it.withP(p)
+				for i := 0; i < np.NumPoints(); i++ {
+					child := it.withP(np.EntryAt(i))
 					child.dist2 = child.minDist2(qRect)
 					heap.Push(h, child)
 				}
@@ -64,8 +64,8 @@ func KClosestPairsStream(tp, tq *rtree.Tree, k int, fn func(Pair)) error {
 			}
 			pRect := geom.RectFromPoint(it.pPoint.P)
 			if nq.Leaf {
-				for _, q := range nq.Points {
-					child := it.withQ(q)
+				for i := 0; i < nq.NumPoints(); i++ {
+					child := it.withQ(nq.EntryAt(i))
 					child.dist2 = child.minDist2FromQ(pRect)
 					heap.Push(h, child)
 				}

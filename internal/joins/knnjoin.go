@@ -27,7 +27,8 @@ func KNNJoinStream(tp, tq *rtree.Tree, k int, fn func(Pair)) error {
 		return nil
 	}
 	return tp.VisitLeaves(func(n *rtree.Node) error {
-		for _, p := range n.Points {
+		for i := 0; i < n.NumPoints(); i++ {
+			p := n.EntryAt(i)
 			it := tq.NewINNIterator(p.P)
 			for i := 0; i < k; i++ {
 				q, d2, ok := it.Next()

@@ -1,0 +1,193 @@
+// Package pagecodec encodes R-tree page images as the variable-length blobs
+// of the .rcjx format v3: each page becomes a 1-byte kind tag followed by a
+// payload. Leaf pages — the bulk of any index, and highly regular: sorted
+// nearby coordinates, often-sequential ids — pack into delta/varint streams
+// at typically under half the raw size; everything else (internal nodes,
+// pages the heuristics cannot prove safe) is stored verbatim. Decoding always
+// reproduces the original page byte for byte, which is what lets format v3
+// keep its per-page CRC table over the *uncompressed* images: one checksum
+// format across v2 and v3, verified after decode on every backend.
+//
+// The codec is deliberately self-contained (standard library only, no
+// repo-internal imports) so the storage layer can use it without creating an
+// import cycle with the rtree package that defines the page layout. The few
+// layout facts it needs are pinned here and guarded by tests against the
+// rtree encoder:
+//
+//	offset 0: uint8  flags (bit 0: leaf)
+//	offset 1: uint8  reserved
+//	offset 2: uint16 entry count (little endian)
+//	offset 4: count × 24-byte leaf entries: x float64, y float64, id int64
+//	tail:     zero padding to the end of the page
+//
+// Blob layout:
+//
+//	kind 0 (raw):      the page image, verbatim (len = 1 + pageSize)
+//	kind 1 (leafpack): the 4-byte header verbatim, then three streams:
+//	                   xs — first value as raw 8 bytes (LE float64 bits),
+//	                        then uvarint(bits XOR previous bits) per value;
+//	                   ys — same encoding;
+//	                   ids — varint(id - previous id) per value (the first
+//	                        delta is against 0), zig-zag as per encoding/binary.
+//
+// XOR-with-previous exploits that neighbouring points in a bulk-loaded leaf
+// share sign, exponent, and high mantissa bits: the XOR is a numerically
+// small uint64, which uvarint stores in a few bytes. The encoder only emits
+// leafpack when the result is strictly smaller than raw, so a blob never
+// exceeds 1 + pageSize bytes.
+package pagecodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Blob kinds: the first byte of every encoded page.
+const (
+	// KindRaw marks a verbatim page image.
+	KindRaw = 0x00
+	// KindLeafPack marks a delta/varint-compressed leaf page.
+	KindLeafPack = 0x01
+)
+
+const (
+	headerSize = 4
+	entrySize  = 24
+)
+
+// ErrMalformed is the typed failure of DecodePage: the blob does not decode
+// to a page of the expected size (unknown kind, truncated or trailing stream
+// bytes, entry count exceeding the page).
+var ErrMalformed = errors.New("pagecodec: malformed page blob")
+
+// MaxBlobSize returns the largest blob EncodePage can emit for a page of the
+// given size: the raw fallback's kind byte plus the verbatim image.
+func MaxBlobSize(pageSize int) int { return 1 + pageSize }
+
+// AppendPage appends the blob encoding of one page image to dst and returns
+// the extended slice. Leaf pages with an all-zero tail pack; anything else —
+// internal nodes, leaves whose packed form would not be smaller — is stored
+// raw. DecodePage inverts the result exactly.
+func AppendPage(dst, page []byte) []byte {
+	mark := len(dst)
+	if packed, ok := appendLeafPack(append(dst, KindLeafPack), page); ok && len(packed)-mark < 1+len(page) {
+		return packed
+	}
+	dst = append(dst, KindRaw)
+	return append(dst, page...)
+}
+
+// appendLeafPack appends the leafpack payload of page to dst, reporting false
+// (dst unusable) when the page is not a packable leaf: not flagged as a leaf,
+// entries exceeding the page, or nonzero bytes after the last entry (which
+// verbatim-reproducing decode could not restore).
+func appendLeafPack(dst, page []byte) ([]byte, bool) {
+	if len(page) < headerSize || page[0]&1 == 0 {
+		return nil, false
+	}
+	count := int(binary.LittleEndian.Uint16(page[2:4]))
+	end := headerSize + count*entrySize
+	if end > len(page) {
+		return nil, false
+	}
+	for _, b := range page[end:] {
+		if b != 0 {
+			return nil, false
+		}
+	}
+	dst = append(dst, page[:headerSize]...)
+	for _, col := range [2]int{0, 8} { // the x then y coordinate streams
+		var prev uint64
+		for i := 0; i < count; i++ {
+			v := binary.LittleEndian.Uint64(page[headerSize+i*entrySize+col:])
+			if i == 0 {
+				dst = binary.LittleEndian.AppendUint64(dst, v)
+			} else {
+				dst = binary.AppendUvarint(dst, v^prev)
+			}
+			prev = v
+		}
+	}
+	var prev int64
+	for i := 0; i < count; i++ {
+		id := int64(binary.LittleEndian.Uint64(page[headerSize+i*entrySize+16:]))
+		dst = binary.AppendVarint(dst, id-prev)
+		prev = id
+	}
+	return dst, true
+}
+
+// DecodePage decodes one blob into page, which must be exactly the page size
+// the blob was encoded from. The result is byte-identical to the original
+// image, so a per-page checksum computed before encoding verifies after.
+func DecodePage(page, blob []byte) error {
+	if len(blob) == 0 {
+		return fmt.Errorf("%w: empty blob", ErrMalformed)
+	}
+	switch blob[0] {
+	case KindRaw:
+		if len(blob)-1 != len(page) {
+			return fmt.Errorf("%w: raw blob of %d bytes for a %d-byte page", ErrMalformed, len(blob)-1, len(page))
+		}
+		copy(page, blob[1:])
+		return nil
+	case KindLeafPack:
+		return decodeLeafPack(page, blob[1:])
+	default:
+		return fmt.Errorf("%w: unknown blob kind %#x", ErrMalformed, blob[0])
+	}
+}
+
+func decodeLeafPack(page, b []byte) error {
+	if len(b) < headerSize {
+		return fmt.Errorf("%w: leafpack blob of %d bytes too small for node header", ErrMalformed, len(b))
+	}
+	if b[0]&1 == 0 {
+		return fmt.Errorf("%w: leafpack blob of a non-leaf page", ErrMalformed)
+	}
+	count := int(binary.LittleEndian.Uint16(b[2:4]))
+	end := headerSize + count*entrySize
+	if end > len(page) {
+		return fmt.Errorf("%w: %d entries exceed a %d-byte page", ErrMalformed, count, len(page))
+	}
+	copy(page[:headerSize], b[:headerSize])
+	b = b[headerSize:]
+	for _, col := range [2]int{0, 8} {
+		var prev uint64
+		for i := 0; i < count; i++ {
+			if i == 0 {
+				if len(b) < 8 {
+					return fmt.Errorf("%w: truncated coordinate stream", ErrMalformed)
+				}
+				prev = binary.LittleEndian.Uint64(b)
+				b = b[8:]
+			} else {
+				d, n := binary.Uvarint(b)
+				if n <= 0 {
+					return fmt.Errorf("%w: truncated coordinate stream", ErrMalformed)
+				}
+				b = b[n:]
+				prev ^= d
+			}
+			binary.LittleEndian.PutUint64(page[headerSize+i*entrySize+col:], prev)
+		}
+	}
+	var prev int64
+	for i := 0; i < count; i++ {
+		d, n := binary.Varint(b)
+		if n <= 0 {
+			return fmt.Errorf("%w: truncated id stream", ErrMalformed)
+		}
+		b = b[n:]
+		prev += d
+		binary.LittleEndian.PutUint64(page[headerSize+i*entrySize+16:], uint64(prev))
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after id stream", ErrMalformed, len(b))
+	}
+	for i := end; i < len(page); i++ {
+		page[i] = 0
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package pagecodec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const testPageSize = 1024
+
+// makeLeafPage builds a page image in the rtree leaf layout: header, count
+// 24-byte entries, zero tail.
+func makeLeafPage(t *testing.T, xs, ys []float64, ids []int64) []byte {
+	t.Helper()
+	page := make([]byte, testPageSize)
+	page[0] = 1
+	binary.LittleEndian.PutUint16(page[2:], uint16(len(ids)))
+	for i := range ids {
+		off := headerSize + i*entrySize
+		binary.LittleEndian.PutUint64(page[off:], math.Float64bits(xs[i]))
+		binary.LittleEndian.PutUint64(page[off+8:], math.Float64bits(ys[i]))
+		binary.LittleEndian.PutUint64(page[off+16:], uint64(ids[i]))
+	}
+	return page
+}
+
+func roundTrip(t *testing.T, page []byte) []byte {
+	t.Helper()
+	blob := AppendPage(nil, page)
+	if len(blob) > MaxBlobSize(len(page)) {
+		t.Fatalf("blob of %d bytes exceeds MaxBlobSize %d", len(blob), MaxBlobSize(len(page)))
+	}
+	got := make([]byte, len(page))
+	for i := range got {
+		got[i] = 0xAA // decode must overwrite every byte, including the tail
+	}
+	if err := DecodePage(got, blob); err != nil {
+		t.Fatalf("DecodePage: %v", err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Fatal("decoded page differs from original")
+	}
+	return blob
+}
+
+// TestLeafPackRoundTripAndRatio: a typical bulk-loaded leaf (sorted nearby
+// coordinates, sequential ids) must round-trip byte-identically and actually
+// compress.
+func TestLeafPackRoundTripAndRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 42 // full 1K leaf
+	xs, ys, ids := make([]float64, n), make([]float64, n), make([]int64, n)
+	x := rng.Float64() * 1000
+	for i := range xs {
+		x += rng.Float64() // sorted, close together: the STR leaf shape
+		xs[i] = x
+		ys[i] = 500 + rng.Float64()*10
+		ids[i] = int64(1000 + i)
+	}
+	page := makeLeafPage(t, xs, ys, ids)
+	blob := roundTrip(t, page)
+	if blob[0] != KindLeafPack {
+		t.Fatalf("packable leaf stored with kind %d", blob[0])
+	}
+	if len(blob) >= headerSize+n*entrySize {
+		t.Fatalf("leafpack of %d bytes did not beat the %d-byte payload", len(blob), headerSize+n*entrySize)
+	}
+}
+
+// TestRawFallbacks pins the cases that must not pack: internal pages, leaves
+// with dirty tails (which verbatim decode could not restore), and adversarial
+// coordinates where varint streams would expand.
+func TestRawFallbacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+
+	internal := make([]byte, testPageSize)
+	internal[0] = 0 // not a leaf
+	binary.LittleEndian.PutUint16(internal[2:], 7)
+	rng.Read(internal[4:200])
+	if blob := roundTrip(t, internal); blob[0] != KindRaw {
+		t.Fatalf("internal page stored with kind %d", blob[0])
+	}
+
+	dirty := makeLeafPage(t, []float64{1}, []float64{2}, []int64{3})
+	dirty[testPageSize-1] = 0xFF
+	if blob := roundTrip(t, dirty); blob[0] != KindRaw {
+		t.Fatalf("dirty-tail leaf stored with kind %d", blob[0])
+	}
+
+	// Uncorrelated full-range bit patterns: XOR deltas are ~8-byte uvarints
+	// plus the streams' overhead, so raw must win.
+	const n = 42
+	xs, ys, ids := make([]float64, n), make([]float64, n), make([]int64, n)
+	for i := range xs {
+		xs[i] = math.Float64frombits(rng.Uint64())
+		ys[i] = math.Float64frombits(rng.Uint64())
+		ids[i] = int64(rng.Uint64())
+	}
+	adversarial := makeLeafPage(t, xs, ys, ids)
+	if blob := roundTrip(t, adversarial); blob[0] != KindRaw {
+		t.Fatalf("incompressible leaf stored with kind %d", blob[0])
+	}
+}
+
+// TestLeafPackEdgeShapes: empty leaves, single entries, duplicate points, and
+// extreme float bit patterns all round-trip.
+func TestLeafPackEdgeShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		ys   []float64
+		ids  []int64
+	}{
+		{"empty", nil, nil, nil},
+		{"single", []float64{3.25}, []float64{-0.5}, []int64{9}},
+		{"duplicates", []float64{7, 7, 7}, []float64{7, 7, 7}, []int64{1, 1, 1}},
+		{"specials",
+			[]float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN()},
+			[]float64{math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64, 1, -1},
+			[]int64{math.MaxInt64, math.MinInt64, 0, -1, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			roundTrip(t, makeLeafPage(t, tc.xs, tc.ys, tc.ids))
+		})
+	}
+}
+
+// TestDecodeMalformed pins ErrMalformed on every malformed-blob shape.
+func TestDecodeMalformed(t *testing.T) {
+	page := make([]byte, testPageSize)
+	good := AppendPage(nil, makeLeafPage(t, []float64{1, 2}, []float64{3, 4}, []int64{5, 6}))
+	bad := [][]byte{
+		nil,                            // empty
+		{0x7F},                         // unknown kind
+		{KindRaw, 1, 2, 3},             // raw size mismatch
+		good[:len(good)-1],             // truncated id stream
+		good[:12],                      // truncated coordinate stream
+		{KindLeafPack, 0, 0},           // short header
+		{KindLeafPack, 0, 0, 255, 255}, // non-leaf flag byte, then count overflow
+		append(bytes.Clone(good), 0),   // trailing byte
+	}
+	// Count overflowing the page: header claims 65535 entries.
+	over := []byte{KindLeafPack, 1, 0, 0xFF, 0xFF}
+	bad = append(bad, over)
+	for i, blob := range bad {
+		if err := DecodePage(page, blob); err == nil {
+			t.Fatalf("case %d: malformed blob decoded", i)
+		}
+	}
+}
+
+// FuzzPageCodec throws arbitrary bytes at DecodePage (must never panic, only
+// error) and, when the input parses as a leaf page image, checks the
+// encode→decode round trip is byte-identical.
+func FuzzPageCodec(f *testing.F) {
+	f.Add([]byte{KindRaw}, []byte{1, 0, 0, 0})
+	f.Add(AppendPage(nil, make([]byte, 64)), make([]byte, 64))
+	leaf := make([]byte, 128)
+	leaf[0] = 1
+	binary.LittleEndian.PutUint16(leaf[2:], 2)
+	f.Add(AppendPage(nil, leaf), leaf)
+	f.Fuzz(func(t *testing.T, blob, pageImage []byte) {
+		page := make([]byte, 256)
+		_ = DecodePage(page, blob) // arbitrary blobs: must not panic
+		if len(pageImage) < headerSize || len(pageImage) > 1<<12 {
+			return
+		}
+		enc := AppendPage(nil, pageImage)
+		got := make([]byte, len(pageImage))
+		if err := DecodePage(got, enc); err != nil {
+			t.Fatalf("own encoding failed to decode: %v", err)
+		}
+		if !bytes.Equal(got, pageImage) {
+			t.Fatal("encode/decode round trip not byte-identical")
+		}
+	})
+}

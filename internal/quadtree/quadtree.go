@@ -172,7 +172,7 @@ func (t *Tree) packOverflow(pts []rtree.PointEntry) (rtree.ChildEntry, int, erro
 }
 
 func (t *Tree) writeLeaf(pts []rtree.PointEntry) (rtree.ChildEntry, int, error) {
-	n := &rtree.Node{Leaf: true, Points: append([]rtree.PointEntry(nil), pts...)}
+	n := rtree.NewLeaf(pts)
 	id, err := t.allocNode(n)
 	if err != nil {
 		return rtree.ChildEntry{}, 0, err
@@ -286,7 +286,7 @@ func (t *Tree) leafPagesRec(id storage.PageID, out *[]storage.PageID) error {
 func (t *Tree) ScanAll() ([]rtree.PointEntry, error) {
 	out := make([]rtree.PointEntry, 0, t.size)
 	err := t.VisitLeaves(func(n *rtree.Node) error {
-		out = append(out, n.Points...)
+		out = n.AppendPointsTo(out)
 		return nil
 	})
 	return out, err
@@ -317,10 +317,10 @@ func (t *Tree) checkRec(id storage.PageID) (int, error) {
 		return 0, err
 	}
 	if n.Leaf {
-		if len(n.Points) > t.bucket {
-			return 0, fmt.Errorf("quadtree: leaf %d overfull: %d > %d", id, len(n.Points), t.bucket)
+		if n.NumPoints() > t.bucket {
+			return 0, fmt.Errorf("quadtree: leaf %d overfull: %d > %d", id, n.NumPoints(), t.bucket)
 		}
-		return len(n.Points), nil
+		return n.NumPoints(), nil
 	}
 	if len(n.Children) == 0 {
 		return 0, fmt.Errorf("quadtree: internal node %d has no children", id)

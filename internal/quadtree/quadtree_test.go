@@ -92,7 +92,7 @@ func TestLeafPagesAndVisit(t *testing.T) {
 		if !n.Leaf {
 			t.Fatal("non-leaf visited")
 		}
-		visited += len(n.Points)
+		visited += n.NumPoints()
 		return nil
 	}); err != nil {
 		t.Fatal(err)

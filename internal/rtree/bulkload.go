@@ -92,7 +92,7 @@ func (t *Tree) packLeaves(pts []PointEntry, capacity int) ([]ChildEntry, error) 
 			if le > len(slab) {
 				le = len(slab)
 			}
-			node := &Node{Leaf: true, Points: append([]PointEntry(nil), slab[ls:le]...)}
+			node := NewLeaf(slab[ls:le])
 			id, err := t.allocNode(node)
 			if err != nil {
 				return nil, err

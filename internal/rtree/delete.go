@@ -29,7 +29,7 @@ func (t *Tree) Delete(p geom.Point, id int64) (bool, error) {
 			return true, err
 		}
 		if n.Leaf {
-			if len(n.Points) == 0 && t.size == 0 && len(orphans) == 0 {
+			if n.NumPoints() == 0 && t.size == 0 && len(orphans) == 0 {
 				t.root = storage.InvalidPageID
 				t.height = 0
 			}
@@ -68,9 +68,9 @@ func (t *Tree) deleteRec(id storage.PageID, level int, p geom.Point, pid int64, 
 		return false, err
 	}
 	if n.Leaf {
-		for i, e := range n.Points {
-			if e.ID == pid && e.P.Equal(p) {
-				n.Points = append(n.Points[:i], n.Points[i+1:]...)
+		for i, eid := range n.IDs {
+			if eid == pid && n.PointAt(i).Equal(p) {
+				n.RemovePointAt(i)
 				return true, t.writeNode(id, n)
 			}
 		}
@@ -116,7 +116,7 @@ func (t *Tree) collectPoints(id storage.PageID, out *[]PointEntry) error {
 		return err
 	}
 	if n.Leaf {
-		*out = append(*out, n.Points...)
+		*out = n.AppendPointsTo(*out)
 		return nil
 	}
 	for _, e := range n.Children {

@@ -1,8 +1,10 @@
 package rtree
 
 import (
+	"math"
 	"testing"
 
+	"repro/internal/geom"
 	"repro/internal/storage"
 )
 
@@ -12,7 +14,7 @@ import (
 func FuzzDecodeNode(f *testing.F) {
 	// Seed with valid pages of both kinds and some corruptions.
 	buf := make([]byte, storage.DefaultPageSize)
-	leaf := &Node{Leaf: true, Points: []PointEntry{{ID: 1}, {ID: 2}}}
+	leaf := NewLeaf([]PointEntry{{ID: 1}, {ID: 2}})
 	if err := leaf.Encode(buf); err != nil {
 		f.Fatal(err)
 	}
@@ -33,8 +35,11 @@ func FuzzDecodeNode(f *testing.F) {
 		if n.Leaf && n.Children != nil {
 			t.Fatal("leaf with children")
 		}
-		if !n.Leaf && n.Points != nil {
+		if !n.Leaf && n.NumPoints() != 0 {
 			t.Fatal("internal node with points")
+		}
+		if len(n.Xs) != len(n.Ys) || len(n.Xs) != len(n.IDs) {
+			t.Fatalf("ragged columns: %d/%d/%d", len(n.Xs), len(n.Ys), len(n.IDs))
 		}
 		// A decoded node must re-encode into a page-sized buffer when its
 		// entry count fits.
@@ -43,6 +48,47 @@ func FuzzDecodeNode(f *testing.F) {
 			out := make([]byte, storage.DefaultPageSize)
 			if err := n.Encode(out); err != nil {
 				t.Fatalf("re-encode of decoded node failed: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzDecodeLeafColumnar asserts the columnar leaf decoder never panics on
+// arbitrary bytes and, whenever DecodeNode accepts the same page as a leaf,
+// produces bit-identical columns to the row decoder — the warm join path and
+// the generic path must read the same points from the same bytes.
+func FuzzDecodeLeafColumnar(f *testing.F) {
+	buf := make([]byte, storage.DefaultPageSize)
+	leaf := NewLeaf([]PointEntry{{P: geom.Point{X: 1.5, Y: -2.5}, ID: 1}, {P: geom.Point{X: 3, Y: 4}, ID: 2}})
+	if err := leaf.Encode(buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), buf...))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 255, 255})
+	f.Add([]byte{1, 0, 1, 0}) // count 1, no payload
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs, ys, ids, err := DecodeLeafColumnar(data)
+		if err != nil {
+			return
+		}
+		if len(xs) != len(ys) || len(xs) != len(ids) {
+			t.Fatalf("ragged columns: %d/%d/%d", len(xs), len(ys), len(ids))
+		}
+		n, err := DecodeNode(data)
+		if err != nil || !n.Leaf {
+			return
+		}
+		if len(xs) != n.Len() {
+			t.Fatalf("columnar count %d != row count %d", len(xs), n.Len())
+		}
+		for i := range xs {
+			if math.Float64bits(xs[i]) != math.Float64bits(n.Xs[i]) ||
+				math.Float64bits(ys[i]) != math.Float64bits(n.Ys[i]) ||
+				ids[i] != n.IDs[i] {
+				t.Fatalf("entry %d: columnar (%v,%v,%d) != row (%v,%v,%d)",
+					i, xs[i], ys[i], ids[i], n.Xs[i], n.Ys[i], n.IDs[i])
 			}
 		}
 	})

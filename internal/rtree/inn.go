@@ -1,8 +1,6 @@
 package rtree
 
 import (
-	"container/heap"
-
 	"repro/internal/geom"
 	"repro/internal/storage"
 )
@@ -25,22 +23,58 @@ type innItem struct {
 // subtrees at equal distance so a point is never emitted after a subtree
 // that could contain a closer one (MINDIST is a lower bound, so a subtree at
 // the same key cannot beat the point).
+//
+// The heap is hand-rolled rather than built on container/heap: the interface
+// indirection boxes every pushed item into an allocation, and the filter
+// traversal pushes one item per leaf point. The sift procedures below mirror
+// container/heap's exactly, so the pop order — including tie handling — is
+// identical to the previous implementation.
 type innHeap []innItem
 
-func (h innHeap) Len() int { return len(h) }
-func (h innHeap) Less(i, j int) bool {
+func (h innHeap) less(i, j int) bool {
 	if h[i].dist2 != h[j].dist2 {
 		return h[i].dist2 < h[j].dist2
 	}
 	return h[i].isPoint && !h[j].isPoint
 }
-func (h innHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *innHeap) Push(x any)   { *h = append(*h, x.(innItem)) }
-func (h *innHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+
+func (h *innHeap) push(it innItem) {
+	*h = append(*h, it)
+	j := len(*h) - 1
+	s := *h
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *innHeap) pop() innItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	// Sift the swapped-in element down over the n remaining items.
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s.less(j2, j1) {
+			j = j2
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*h = s[:n]
 	return it
 }
 
@@ -61,7 +95,6 @@ func (t *Tree) NewINNIterator(q geom.Point) *INNIterator {
 		// Seeding with the root at distance 0 is correct (root MINDIST from
 		// any interior query is 0 anyway and the first Pop expands it).
 	}
-	heap.Init(&it.heap)
 	return it
 }
 
@@ -69,8 +102,8 @@ func (t *Tree) NewINNIterator(q geom.Point) *INNIterator {
 // ok is false when the tree is exhausted or an I/O error occurred (check
 // Err).
 func (it *INNIterator) Next() (pe PointEntry, dist2 float64, ok bool) {
-	for it.heap.Len() > 0 {
-		item := heap.Pop(&it.heap).(innItem)
+	for len(it.heap) > 0 {
+		item := it.heap.pop()
 		if item.isPoint {
 			return item.point, item.dist2, true
 		}
@@ -80,12 +113,19 @@ func (it *INNIterator) Next() (pe PointEntry, dist2 float64, ok bool) {
 			return PointEntry{}, 0, false
 		}
 		if n.Leaf {
-			for _, e := range n.Points {
-				heap.Push(&it.heap, innItem{dist2: it.q.Dist2(e.P), isPoint: true, point: e})
+			qx, qy := it.q.X, it.q.Y
+			xs, ys := n.Xs, n.Ys
+			for i, id := range n.IDs {
+				dx, dy := qx-xs[i], qy-ys[i]
+				it.heap.push(innItem{
+					dist2:   dx*dx + dy*dy,
+					isPoint: true,
+					point:   PointEntry{P: geom.Point{X: xs[i], Y: ys[i]}, ID: id},
+				})
 			}
 		} else {
 			for _, e := range n.Children {
-				heap.Push(&it.heap, innItem{dist2: e.MBR.MinDist2(it.q), page: e.Child})
+				it.heap.push(innItem{dist2: e.MBR.MinDist2(it.q), page: e.Child})
 			}
 		}
 	}

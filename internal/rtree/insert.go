@@ -46,7 +46,7 @@ type insertState struct {
 func (t *Tree) Insert(p geom.Point, id int64) error {
 	entry := treeEntry{isPoint: true, pt: PointEntry{P: p, ID: id}}
 	if t.root == storage.InvalidPageID {
-		rootID, err := t.allocNode(&Node{Leaf: true, Points: []PointEntry{entry.pt}})
+		rootID, err := t.allocNode(NewLeaf([]PointEntry{entry.pt}))
 		if err != nil {
 			return err
 		}
@@ -119,7 +119,7 @@ func (t *Tree) insertRec(id storage.PageID, level int, entry treeEntry, targetLe
 			return nil, fmt.Errorf("rtree: entry kind (point=%v) does not match node at level %d", entry.isPoint, level)
 		}
 		if n.Leaf {
-			n.Points = append(n.Points, entry.pt)
+			n.AppendPoint(entry.pt)
 		} else {
 			n.Children = append(n.Children, entry.child)
 		}
@@ -175,17 +175,18 @@ func (t *Tree) forceReinsert(n *Node, level int, st *insertState) {
 		p = 1
 	}
 	if n.Leaf {
-		sort.Slice(n.Points, func(i, j int) bool {
-			return n.Points[i].P.Dist2(center) < n.Points[j].P.Dist2(center)
+		pts := n.Points()
+		sort.Slice(pts, func(i, j int) bool {
+			return pts[i].P.Dist2(center) < pts[j].P.Dist2(center)
 		})
-		keep := len(n.Points) - p
-		for _, e := range n.Points[keep:] {
+		keep := len(pts) - p
+		for _, e := range pts[keep:] {
 			st.pending = append(st.pending, pendingReinsert{
 				entry: treeEntry{isPoint: true, pt: e},
 				level: level,
 			})
 		}
-		n.Points = n.Points[:keep]
+		n.SetPoints(pts[:keep])
 		return
 	}
 	sort.Slice(n.Children, func(i, j int) bool {
@@ -259,21 +260,21 @@ func (t *Tree) splitNode(id storage.PageID, n *Node) (*ChildEntry, error) {
 	var sibling *Node
 	if n.Leaf {
 		minFill := t.minLeaf
-		rects := make([]geom.Rect, len(n.Points))
-		for i, e := range n.Points {
-			rects[i] = geom.RectFromPoint(e.P)
+		rects := make([]geom.Rect, n.NumPoints())
+		for i := range rects {
+			rects[i] = geom.RectFromPoint(n.PointAt(i))
 		}
 		leftIdx, rightIdx := split(rects, minFill)
 		left := make([]PointEntry, 0, len(leftIdx))
 		right := make([]PointEntry, 0, len(rightIdx))
 		for _, i := range leftIdx {
-			left = append(left, n.Points[i])
+			left = append(left, n.EntryAt(i))
 		}
 		for _, i := range rightIdx {
-			right = append(right, n.Points[i])
+			right = append(right, n.EntryAt(i))
 		}
-		n.Points = left
-		sibling = &Node{Leaf: true, Points: right}
+		n.SetPoints(left)
+		sibling = NewLeaf(right)
 	} else {
 		minFill := t.minChild
 		rects := make([]geom.Rect, len(n.Children))

@@ -34,18 +34,92 @@ type ChildEntry struct {
 	Child storage.PageID
 }
 
-// Node is the in-memory form of one R-tree page. Exactly one of Points
-// (leaf) or Children (internal) is populated.
+// Node is the in-memory form of one R-tree page. Leaf nodes store their
+// points columnar — parallel Xs/Ys/IDs slices decoded once per page — so the
+// join's filter and verification inner loops scan contiguous float64 memory
+// instead of materializing per-entry structs. Internal nodes carry Children.
+// Exactly one of the two representations is populated.
 type Node struct {
-	Leaf     bool
-	Points   []PointEntry
+	Leaf bool
+	// Xs, Ys, IDs are the columnar leaf payload: Xs[i], Ys[i] are the
+	// coordinates of the i-th point and IDs[i] its caller-assigned id. The
+	// three slices always share one length. Xs and Ys share one backing
+	// array when decoded from a page.
+	Xs, Ys []float64
+	IDs    []int64
+	// Children is the internal-node payload.
 	Children []ChildEntry
+}
+
+// NewLeaf builds a leaf node from row-form entries.
+func NewLeaf(pts []PointEntry) *Node {
+	n := &Node{Leaf: true}
+	n.SetPoints(pts)
+	return n
+}
+
+// NumPoints returns the number of points in a leaf node (0 for internal
+// nodes).
+func (n *Node) NumPoints() int { return len(n.IDs) }
+
+// PointAt returns the coordinates of the i-th leaf point.
+func (n *Node) PointAt(i int) geom.Point { return geom.Point{X: n.Xs[i], Y: n.Ys[i]} }
+
+// EntryAt returns the i-th leaf point in row form.
+func (n *Node) EntryAt(i int) PointEntry {
+	return PointEntry{P: geom.Point{X: n.Xs[i], Y: n.Ys[i]}, ID: n.IDs[i]}
+}
+
+// Points materializes the leaf payload as a fresh row-form slice. It is meant
+// for the build/maintenance paths and tests; hot read paths iterate the
+// columns directly.
+func (n *Node) Points() []PointEntry {
+	return n.AppendPointsTo(make([]PointEntry, 0, len(n.IDs)))
+}
+
+// AppendPointsTo appends the leaf's points in row form to dst and returns the
+// extended slice — the allocation-free sibling of Points for callers
+// accumulating across leaves.
+func (n *Node) AppendPointsTo(dst []PointEntry) []PointEntry {
+	for i, id := range n.IDs {
+		dst = append(dst, PointEntry{P: geom.Point{X: n.Xs[i], Y: n.Ys[i]}, ID: id})
+	}
+	return dst
+}
+
+// SetPoints replaces the leaf payload with the given row-form entries.
+func (n *Node) SetPoints(pts []PointEntry) {
+	if cap(n.Xs) < len(pts) {
+		cols := make([]float64, 2*len(pts))
+		n.Xs, n.Ys = cols[:len(pts):len(pts)], cols[len(pts):]
+		n.IDs = make([]int64, len(pts))
+	} else {
+		n.Xs, n.Ys, n.IDs = n.Xs[:len(pts)], n.Ys[:len(pts)], n.IDs[:len(pts)]
+	}
+	for i, e := range pts {
+		n.Xs[i], n.Ys[i], n.IDs[i] = e.P.X, e.P.Y, e.ID
+	}
+}
+
+// AppendPoint adds one point to a leaf node.
+func (n *Node) AppendPoint(e PointEntry) {
+	n.Xs = append(n.Xs, e.P.X)
+	n.Ys = append(n.Ys, e.P.Y)
+	n.IDs = append(n.IDs, e.ID)
+}
+
+// RemovePointAt deletes the i-th leaf point, preserving the order of the
+// rest.
+func (n *Node) RemovePointAt(i int) {
+	n.Xs = append(n.Xs[:i], n.Xs[i+1:]...)
+	n.Ys = append(n.Ys[:i], n.Ys[i+1:]...)
+	n.IDs = append(n.IDs[:i], n.IDs[i+1:]...)
 }
 
 // Len returns the number of entries in the node.
 func (n *Node) Len() int {
 	if n.Leaf {
-		return len(n.Points)
+		return len(n.IDs)
 	}
 	return len(n.Children)
 }
@@ -54,8 +128,8 @@ func (n *Node) Len() int {
 func (n *Node) MBR() geom.Rect {
 	r := geom.EmptyRect()
 	if n.Leaf {
-		for _, e := range n.Points {
-			r = r.ExtendPoint(e.P)
+		for i := range n.IDs {
+			r = r.ExtendPoint(geom.Point{X: n.Xs[i], Y: n.Ys[i]})
 		}
 	} else {
 		for _, e := range n.Children {
@@ -98,7 +172,7 @@ func (n *Node) Encode(buf []byte) error {
 	need := nodeHeaderSize
 	var count int
 	if n.Leaf {
-		count = len(n.Points)
+		count = len(n.IDs)
 		need += count * leafEntrySize
 	} else {
 		count = len(n.Children)
@@ -119,10 +193,10 @@ func (n *Node) Encode(buf []byte) error {
 	binary.LittleEndian.PutUint16(buf[2:], uint16(count))
 	off := nodeHeaderSize
 	if n.Leaf {
-		for _, e := range n.Points {
-			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.P.X))
-			binary.LittleEndian.PutUint64(buf[off+8:], math.Float64bits(e.P.Y))
-			binary.LittleEndian.PutUint64(buf[off+16:], uint64(e.ID))
+		for i := range n.IDs {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(n.Xs[i]))
+			binary.LittleEndian.PutUint64(buf[off+8:], math.Float64bits(n.Ys[i]))
+			binary.LittleEndian.PutUint64(buf[off+16:], uint64(n.IDs[i]))
 			off += leafEntrySize
 		}
 	} else {
@@ -138,6 +212,32 @@ func (n *Node) Encode(buf []byte) error {
 	return nil
 }
 
+// DecodeLeafColumnar decodes the entries of a leaf page previously written by
+// Encode straight into columnar slices: one pass over the page, one shared
+// float64 backing array for both coordinate columns, no per-entry structs.
+// The page header (including the leaf flag) is the caller's to validate; this
+// decodes only the entry payload.
+func DecodeLeafColumnar(buf []byte) (xs, ys []float64, ids []int64, err error) {
+	if len(buf) < nodeHeaderSize {
+		return nil, nil, nil, fmt.Errorf("rtree: page of %d bytes too small for node header", len(buf))
+	}
+	count := int(binary.LittleEndian.Uint16(buf[2:]))
+	if nodeHeaderSize+count*leafEntrySize > len(buf) {
+		return nil, nil, nil, fmt.Errorf("rtree: corrupt leaf node: %d entries exceed page", count)
+	}
+	cols := make([]float64, 2*count)
+	xs, ys = cols[:count:count], cols[count:]
+	ids = make([]int64, count)
+	off := nodeHeaderSize
+	for i := 0; i < count; i++ {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		ys[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:]))
+		ids[i] = int64(binary.LittleEndian.Uint64(buf[off+16:]))
+		off += leafEntrySize
+	}
+	return xs, ys, ids, nil
+}
+
 // DecodeNode deserializes a page previously written by Encode.
 func DecodeNode(buf []byte) (*Node, error) {
 	if len(buf) < nodeHeaderSize {
@@ -147,37 +247,28 @@ func DecodeNode(buf []byte) (*Node, error) {
 	count := int(binary.LittleEndian.Uint16(buf[2:]))
 	off := nodeHeaderSize
 	if n.Leaf {
-		if off+count*leafEntrySize > len(buf) {
-			return nil, fmt.Errorf("rtree: corrupt leaf node: %d entries exceed page", count)
+		var err error
+		n.Xs, n.Ys, n.IDs, err = DecodeLeafColumnar(buf)
+		if err != nil {
+			return nil, err
 		}
-		n.Points = make([]PointEntry, count)
-		for i := range n.Points {
-			n.Points[i] = PointEntry{
-				P: geom.Point{
-					X: math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])),
-					Y: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:])),
-				},
-				ID: int64(binary.LittleEndian.Uint64(buf[off+16:])),
-			}
-			off += leafEntrySize
+		return n, nil
+	}
+	if off+count*internalEntrySize > len(buf) {
+		return nil, fmt.Errorf("rtree: corrupt internal node: %d entries exceed page", count)
+	}
+	n.Children = make([]ChildEntry, count)
+	for i := range n.Children {
+		n.Children[i] = ChildEntry{
+			MBR: geom.Rect{
+				MinX: math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])),
+				MinY: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:])),
+				MaxX: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+16:])),
+				MaxY: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+24:])),
+			},
+			Child: storage.PageID(binary.LittleEndian.Uint32(buf[off+32:])),
 		}
-	} else {
-		if off+count*internalEntrySize > len(buf) {
-			return nil, fmt.Errorf("rtree: corrupt internal node: %d entries exceed page", count)
-		}
-		n.Children = make([]ChildEntry, count)
-		for i := range n.Children {
-			n.Children[i] = ChildEntry{
-				MBR: geom.Rect{
-					MinX: math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])),
-					MinY: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:])),
-					MaxX: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+16:])),
-					MaxY: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+24:])),
-				},
-				Child: storage.PageID(binary.LittleEndian.Uint32(buf[off+32:])),
-			}
-			off += internalEntrySize
-		}
+		off += internalEntrySize
 	}
 	return n, nil
 }

@@ -1,0 +1,163 @@
+package rtree
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// NodeCache is a second-level cache of decoded nodes that sits beside the
+// buffer pool. The pool models the paper's page buffer: its capacity is the
+// experiment's knob and its miss count is the page-fault metric, so it must
+// stay small and honest. The node cache changes neither — it serves a pool
+// MISS (still counted as a fault) from an already-decoded node instead of
+// re-reading the page from the pager and re-decoding it. Over a remote pager
+// that skips an HTTP round trip; locally it skips the copy and decode.
+//
+// Entries are keyed by (owner, page). The owner id acts as a generation: each
+// opened index registers a fresh owner, and closing the index invalidates the
+// whole generation, so a reopened (possibly rewritten) file can never observe
+// stale nodes. Cached trees must be read-only; the engine only attaches the
+// cache to indexes opened from immutable files.
+//
+// NodeCache is safe for concurrent use.
+type NodeCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[nodeCacheKey]*nodeCacheEntry
+	head    *nodeCacheEntry // most recently used
+	tail    *nodeCacheEntry // least recently used
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	nextOwner atomic.Uint64
+}
+
+type nodeCacheKey struct {
+	owner uint64
+	page  storage.PageID
+}
+
+type nodeCacheEntry struct {
+	key        nodeCacheKey
+	node       *Node
+	prev, next *nodeCacheEntry
+}
+
+// NewNodeCache creates a cache holding at most capacity decoded nodes.
+// capacity <= 0 returns nil, the disabled cache (all methods are nil-safe at
+// the Tree call sites, which check for nil before use).
+func NewNodeCache(capacity int) *NodeCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &NodeCache{
+		cap:     capacity,
+		entries: make(map[nodeCacheKey]*nodeCacheEntry, capacity),
+	}
+}
+
+// NewOwner allocates a fresh owner id (generation). Never zero, so the
+// zero-valued Tree field means "no cache attached".
+func (c *NodeCache) NewOwner() uint64 {
+	return c.nextOwner.Add(1)
+}
+
+// Get returns the cached node for (owner, page), refreshing its recency.
+func (c *NodeCache) Get(owner uint64, page storage.PageID) (*Node, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[nodeCacheKey{owner: owner, page: page}]
+	if ok {
+		c.moveToFront(e)
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return e.node, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put inserts or refreshes the node for (owner, page), evicting the least
+// recently used entry when over capacity.
+func (c *NodeCache) Put(owner uint64, page storage.PageID, n *Node) {
+	key := nodeCacheKey{owner: owner, page: page}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.node = n
+		c.moveToFront(e)
+		return
+	}
+	e := &nodeCacheEntry{key: key, node: n}
+	c.entries[key] = e
+	c.pushFront(e)
+	for len(c.entries) > c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.entries, lru.key)
+	}
+}
+
+// InvalidateOwner drops every entry of one generation. Called when an index
+// is closed or unloaded, so its owner id can never serve stale pages.
+func (c *NodeCache) InvalidateOwner(owner uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for e := c.head; e != nil; {
+		next := e.next
+		if e.key.owner == owner {
+			c.unlink(e)
+			delete(c.entries, e.key)
+		}
+		e = next
+	}
+}
+
+// Len returns the number of cached nodes.
+func (c *NodeCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns cumulative hit/miss counts.
+func (c *NodeCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+func (c *NodeCache) pushFront(e *nodeCacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *NodeCache) unlink(e *nodeCacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *NodeCache) moveToFront(e *nodeCacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

@@ -1,0 +1,93 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+func TestNodeCacheLRUAndInvalidate(t *testing.T) {
+	nc := NewNodeCache(2)
+	o1, o2 := nc.NewOwner(), nc.NewOwner()
+	if o1 == 0 || o2 == 0 || o1 == o2 {
+		t.Fatalf("owners: %d %d", o1, o2)
+	}
+	a, b, c := NewLeaf([]PointEntry{{ID: 1}}), NewLeaf([]PointEntry{{ID: 2}}), NewLeaf([]PointEntry{{ID: 3}})
+	nc.Put(o1, 1, a)
+	nc.Put(o2, 1, b) // same page, different owner: distinct entries
+	if n, ok := nc.Get(o1, 1); !ok || n != a {
+		t.Fatal("owner 1 entry lost or crossed owners")
+	}
+	nc.Put(o1, 2, c) // capacity 2: evicts LRU, which is (o2,1) after the Get above
+	if _, ok := nc.Get(o2, 1); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := nc.Get(o1, 1); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	nc.InvalidateOwner(o1)
+	if nc.Len() != 0 {
+		t.Fatalf("after invalidate: %d entries", nc.Len())
+	}
+	if _, ok := nc.Get(o1, 1); ok {
+		t.Fatal("entry visible after owner invalidation")
+	}
+	hits, misses := nc.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("stats not counting: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestNewNodeCacheDisabled(t *testing.T) {
+	if NewNodeCache(0) != nil || NewNodeCache(-5) != nil {
+		t.Fatal("non-positive capacity should disable the cache")
+	}
+}
+
+// TestTreeNodeCacheServesPoolMisses forces buffer-pool evictions with a tiny
+// pool and checks that a second full scan is served from the node cache —
+// identical results, zero additional pager reads.
+func TestTreeNodeCacheServesPoolMisses(t *testing.T) {
+	pager := storage.NewMemPager(storage.DefaultPageSize)
+	tr, err := New(pager, buffer.NewPool(2), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	pts := randomEntries(rng, 2000)
+	if err := tr.BulkLoad(pts, 0); err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nc := NewNodeCache(1 << 16)
+	tr.SetNodeCache(nc, nc.NewOwner())
+	if _, err := tr.ScanAll(); err != nil { // populate the cache
+		t.Fatal(err)
+	}
+	_, missesBefore := nc.Stats()
+	got, err := tr.ScanAll() // pool capacity 2 -> almost every read re-misses
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, missesAfter := nc.Stats()
+	if hits == 0 {
+		t.Fatal("second scan never hit the node cache")
+	}
+	if missesAfter != missesBefore {
+		t.Fatalf("second scan missed the node cache %d times", missesAfter-missesBefore)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

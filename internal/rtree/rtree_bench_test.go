@@ -127,7 +127,7 @@ func BenchmarkDelete(b *testing.B) {
 
 func BenchmarkNodeEncodeDecode(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
-	n := &Node{Leaf: true, Points: randomEntries(rng, 42)}
+	n := NewLeaf(randomEntries(rng, 42))
 	buf := make([]byte, storage.DefaultPageSize)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -38,7 +38,7 @@ func randomEntries(rng *rand.Rand, n int) []PointEntry {
 
 func TestNodeEncodeDecodeRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	leaf := &Node{Leaf: true, Points: randomEntries(rng, 42)}
+	leaf := NewLeaf(randomEntries(rng, 42))
 	buf := make([]byte, storage.DefaultPageSize)
 	if err := leaf.Encode(buf); err != nil {
 		t.Fatal(err)
@@ -47,12 +47,12 @@ func TestNodeEncodeDecodeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !got.Leaf || len(got.Points) != len(leaf.Points) {
-		t.Fatalf("leaf round trip: got leaf=%v count=%d", got.Leaf, len(got.Points))
+	if !got.Leaf || got.NumPoints() != leaf.NumPoints() {
+		t.Fatalf("leaf round trip: got leaf=%v count=%d", got.Leaf, got.NumPoints())
 	}
-	for i := range leaf.Points {
-		if got.Points[i] != leaf.Points[i] {
-			t.Fatalf("leaf entry %d mismatch: %+v vs %+v", i, got.Points[i], leaf.Points[i])
+	for i := 0; i < leaf.NumPoints(); i++ {
+		if got.EntryAt(i) != leaf.EntryAt(i) {
+			t.Fatalf("leaf entry %d mismatch: %+v vs %+v", i, got.EntryAt(i), leaf.EntryAt(i))
 		}
 	}
 
@@ -79,7 +79,7 @@ func TestNodeEncodeDecodeRoundTrip(t *testing.T) {
 
 func TestNodeEncodeOverflow(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	n := &Node{Leaf: true, Points: randomEntries(rng, LeafCapacity(storage.DefaultPageSize)+1)}
+	n := NewLeaf(randomEntries(rng, LeafCapacity(storage.DefaultPageSize)+1))
 	buf := make([]byte, storage.DefaultPageSize)
 	if err := n.Encode(buf); err == nil {
 		t.Fatal("encoding an overfull node succeeded")
@@ -339,7 +339,7 @@ func TestVisitLeavesCoversEverything(t *testing.T) {
 		if !n.Leaf {
 			t.Fatal("VisitLeaves yielded a non-leaf")
 		}
-		visited += len(n.Points)
+		visited += n.NumPoints()
 		return nil
 	}); err != nil {
 		t.Fatal(err)
@@ -357,7 +357,7 @@ func TestVisitLeavesCoversEverything(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		total += len(n.Points)
+		total += n.NumPoints()
 	}
 	if total != len(pts) {
 		t.Fatalf("LeafPages holds %d points, want %d", total, len(pts))

@@ -21,9 +21,11 @@ func (t *Tree) rangeRec(id storage.PageID, w geom.Rect, out *[]PointEntry) error
 		return err
 	}
 	if n.Leaf {
-		for _, e := range n.Points {
-			if w.ContainsPoint(e.P) {
-				*out = append(*out, e)
+		xs, ys := n.Xs, n.Ys
+		for i, id := range n.IDs {
+			x, y := xs[i], ys[i]
+			if x >= w.MinX && x <= w.MaxX && y >= w.MinY && y <= w.MaxY {
+				*out = append(*out, PointEntry{P: geom.Point{X: x, Y: y}, ID: id})
 			}
 		}
 		return nil
@@ -55,9 +57,15 @@ func (t *Tree) circleRec(id storage.PageID, c geom.Circle, out *[]PointEntry) er
 		return err
 	}
 	if n.Leaf {
-		for _, e := range n.Points {
-			if c.Covers(e.P) {
-				*out = append(*out, e)
+		// Hoisted form of c.Covers over the coordinate columns: squared
+		// distance against r²·(1+CoverTol), bit-identical to the method.
+		cx, cy := c.Center.X, c.Center.Y
+		r2 := c.Radius * c.Radius * (1 + geom.CoverTol)
+		xs, ys := n.Xs, n.Ys
+		for i, id := range n.IDs {
+			dx, dy := cx-xs[i], cy-ys[i]
+			if dx*dx+dy*dy <= r2 {
+				*out = append(*out, PointEntry{P: geom.Point{X: xs[i], Y: ys[i]}, ID: id})
 			}
 		}
 		return nil
@@ -90,8 +98,12 @@ func (t *Tree) anyRec(id storage.PageID, c geom.Circle, ex1, ex2 int64) (bool, e
 		return false, err
 	}
 	if n.Leaf {
-		for _, e := range n.Points {
-			if e.ID != ex1 && e.ID != ex2 && c.Covers(e.P) {
+		cx, cy := c.Center.X, c.Center.Y
+		r2 := c.Radius * c.Radius * (1 + geom.CoverTol)
+		xs, ys := n.Xs, n.Ys
+		for i, id := range n.IDs {
+			dx, dy := cx-xs[i], cy-ys[i]
+			if dx*dx+dy*dy <= r2 && id != ex1 && id != ex2 {
 				return true, nil
 			}
 		}
@@ -113,7 +125,7 @@ func (t *Tree) anyRec(id storage.PageID, c geom.Circle, ex1, ex2 int64) (bool, e
 func (t *Tree) ScanAll() ([]PointEntry, error) {
 	out := make([]PointEntry, 0, t.size)
 	err := t.VisitLeaves(func(n *Node) error {
-		out = append(out, n.Points...)
+		out = n.AppendPointsTo(out)
 		return nil
 	})
 	return out, err

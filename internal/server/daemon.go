@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // handlers for the flag-gated profiling listener
 	"sort"
 	"time"
 
@@ -28,6 +29,13 @@ type DaemonConfig struct {
 	// (rcj.EngineConfig semantics).
 	BufferPages  int
 	BufferShards int
+	// NodeCachePages sizes the engine's second-level decoded-node cache for
+	// opened indexes (rcj.EngineConfig semantics; 0 disables it).
+	NodeCachePages int
+	// PprofAddr, when non-empty, serves net/http/pprof on its own listener
+	// at this address (separate from the query port, so profiling is never
+	// exposed on the service address by accident).
+	PprofAddr string
 	// Sched bounds admission: concurrent joins, queue depth, queue wait,
 	// per-join deadline, cross-request batching (sched.Config semantics).
 	Sched sched.Config
@@ -58,7 +66,21 @@ func RunDaemon(ctx context.Context, cfg DaemonConfig, ready func(addr string)) e
 		drainTimeout = 30 * time.Second
 	}
 
-	eng := rcj.NewEngine(rcj.EngineConfig{BufferPages: cfg.BufferPages, BufferShards: cfg.BufferShards})
+	if cfg.PprofAddr != "" {
+		pprofLn, err := net.Listen("tcp", cfg.PprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		// DefaultServeMux carries the net/http/pprof handlers registered by
+		// the blank import; nothing else is ever registered on it here.
+		pprofSrv := &http.Server{Handler: http.DefaultServeMux}
+		defer pprofSrv.Close()
+		logf("rcjd: pprof on http://%s/debug/pprof/", pprofLn.Addr())
+		go func() { _ = pprofSrv.Serve(pprofLn) }()
+	}
+
+	eng := rcj.NewEngine(rcj.EngineConfig{BufferPages: cfg.BufferPages, BufferShards: cfg.BufferShards,
+		NodeCachePages: cfg.NodeCachePages})
 	sch := sched.New(eng, cfg.Sched)
 	srv := New(sch, Config{Backend: cfg.Backend,
 		ResultCacheEntries: cfg.ResultCacheEntries, ResultCachePairs: cfg.ResultCachePairs})

@@ -438,6 +438,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"hit_ratio":     pool.HitRatio(),
 			"shards":        s.sched.Engine().BufferShards(),
 		},
+		"node_cache": func() map[string]any {
+			hits, misses := s.sched.Engine().NodeCacheStats()
+			return map[string]any{"hits": hits, "misses": misses}
+		}(),
 		"remote": map[string]any{
 			"indexes":                 remoteIndexes,
 			"fetches":                 remote.Fetches,
@@ -465,6 +469,7 @@ func (s *Server) writePromMetrics(w http.ResponseWriter, snap sched.Snapshot, po
 	remote rcj.RemoteStats, prefetch rcj.PrefetchStats, remoteIndexes int, cache cacheStats) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
+	nodeCacheHits, nodeCacheMisses := s.sched.Engine().NodeCacheStats()
 	b2i := func(v bool) int {
 		if v {
 			return 1
@@ -498,6 +503,8 @@ func (s *Server) writePromMetrics(w http.ResponseWriter, snap sched.Snapshot, po
 		{"rcjd_pool_prefetch_hits_total", "Pool hits served by async readahead.", "counter", pool.PrefetchHits},
 		{"rcjd_pool_shared_loads_total", "Demand misses that piggybacked on an in-flight load of the same page.", "counter", pool.SharedLoads},
 		{"rcjd_pool_shards", "LRU shards in the shared pool.", "gauge", int64(s.sched.Engine().BufferShards())},
+		{"rcjd_nodecache_hits_total", "Pool misses served from the decoded-node cache without a pager read.", "counter", nodeCacheHits},
+		{"rcjd_nodecache_misses_total", "Decoded-node cache misses (page read + decode).", "counter", nodeCacheMisses},
 		{"rcjd_remote_indexes", "Registered indexes served over HTTP ranges.", "gauge", int64(remoteIndexes)},
 		{"rcjd_remote_fetches_total", "HTTP range requests issued by remote indexes.", "counter", remote.Fetches},
 		{"rcjd_remote_shared_total", "Remote page reads collapsed into another reader's in-flight fetch.", "counter", remote.SharedFetches},

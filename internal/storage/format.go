@@ -12,7 +12,7 @@ import (
 	"path/filepath"
 )
 
-// The durable index file format (".rcjx"):
+// The durable index file format (".rcjx"), versions 1 and 2:
 //
 //	block 0               one page-sized header block; the superblock
 //	                      occupies its first SuperblockSize bytes, the rest
@@ -24,19 +24,35 @@ import (
 //	                      table bytes themselves, at byte offset
 //	                      PageSize·(1+NumPages)
 //
+// Version 3 ("packed") replaces the verbatim page image with compressed
+// variable-length blobs located by a page directory:
+//
+//	block 0               the superblock, as above, with the packed flag set
+//	offset PageSize       the page directory: NumPages+1 uint64 absolute
+//	                      file offsets (dir[i] = start of page i's blob,
+//	                      dir[NumPages] = end of the last blob), little
+//	                      endian, followed by a CRC-32 of those bytes
+//	blobs                 one pagecodec blob per page, back to back: a
+//	                      1-byte kind (raw or delta/varint leafpack) plus
+//	                      payload; decoding reproduces the page verbatim
+//	offset dir[NumPages]  the page checksum table, exactly as in v2, over
+//	                      the UNCOMPRESSED page images
+//
 // The superblock is versioned and checksummed so a reopening process can
 // reject foreign, corrupt, or truncated files with a typed error before it
-// ever walks a tree page. Version 2 additionally checksums every page, which
-// is what lets a pager serve the file over an unreliable substrate (remote
-// HTTP ranges, flaky disks): each fetched page is verified against the table
-// before a single tree entry is decoded. Version 1 files (no table) still
-// open read-only; the writer emits version 2.
+// ever walks a tree page. Versions 2 and 3 additionally checksum every page,
+// which is what lets a pager serve the file over an unreliable substrate
+// (remote HTTP ranges, flaky disks): each page is verified against the table
+// — after blob decode, for v3 — before a single tree entry is decoded.
+// Version 1 files (no table) still open read-only; the writer emits version
+// 2 by default and version 3 on request (WriteIndexFile with
+// sb.Version = FormatVersion3).
 //
 // Superblock layout (little endian):
 //
 //	offset  0: [8]byte  magic "RCJXIDX\x00"
-//	offset  8: uint16   format version (1 or 2)
-//	offset 10: uint16   reserved (zero)
+//	offset  8: uint16   format version (1, 2, or 3)
+//	offset 10: uint16   flags (v3: bit 0 = packed pages; zero before v3)
 //	offset 12: uint32   page size in bytes
 //	offset 16: uint32   number of pages following the header block
 //	offset 20: uint32   root page id
@@ -52,8 +68,25 @@ const (
 	FormatVersion1 = 1
 	// FormatVersion2 adds the per-page CRC-32 table trailer.
 	FormatVersion2 = 2
-	// FormatVersion is the version the writer emits.
+	// FormatVersion3 packs pages into compressed variable-length blobs
+	// behind a page directory (see the format comment above). Leaf pages
+	// delta/varint-compress to roughly half their raw size; the checksum
+	// table still covers the uncompressed images.
+	FormatVersion3 = 3
+	// FormatVersion is the version the writer emits by default. Version 3
+	// is opt-in: readers from before this release reject it.
 	FormatVersion = FormatVersion2
+	// maxFormatVersion is the newest version this reader understands.
+	maxFormatVersion = FormatVersion3
+)
+
+// Superblock flag bits (the uint16 at offset 10, which was reserved-zero
+// before format v3).
+const (
+	// FlagPackedPages marks a v3 file whose pages are stored as compressed
+	// blobs behind a page directory. It is required for v3 and rejected for
+	// earlier versions.
+	FlagPackedPages uint16 = 1 << 0
 )
 
 // Magic identifies an index file; it is the first 8 bytes of the superblock.
@@ -84,6 +117,7 @@ var (
 // to reattach an R-tree to the page image without touching a single point.
 type Superblock struct {
 	Version  int        // format version; 0 encodes as FormatVersion
+	Flags    uint16     // format flags; must be FlagPackedPages for v3, zero before
 	PageSize int        // fixed page size in bytes
 	NumPages int        // pages following the header block
 	Root     PageID     // page id of the tree root (InvalidPageID when empty)
@@ -101,8 +135,13 @@ func (sb Superblock) effectiveVersion() int {
 }
 
 // hasPageTable reports whether this superblock's format version carries the
-// per-page checksum table trailer.
+// per-page checksum table (a trailer at PageSize·(1+NumPages) for v2; at
+// dir[NumPages] for packed v3).
 func (sb Superblock) hasPageTable() bool { return sb.effectiveVersion() >= FormatVersion2 }
+
+// Packed reports whether this superblock's format stores pages as compressed
+// variable-length blobs behind a page directory (format v3).
+func (sb Superblock) Packed() bool { return sb.effectiveVersion() >= FormatVersion3 }
 
 // EncodeSuperblock serializes sb into buf, which must be at least
 // SuperblockSize bytes. It fails on a superblock that Validate rejects, so
@@ -117,7 +156,7 @@ func EncodeSuperblock(sb Superblock, buf []byte) error {
 	}
 	copy(buf[0:8], Magic[:])
 	binary.LittleEndian.PutUint16(buf[8:], uint16(sb.effectiveVersion()))
-	binary.LittleEndian.PutUint16(buf[10:], 0)
+	binary.LittleEndian.PutUint16(buf[10:], sb.Flags)
 	binary.LittleEndian.PutUint32(buf[12:], uint32(sb.PageSize))
 	binary.LittleEndian.PutUint32(buf[16:], uint32(sb.NumPages))
 	binary.LittleEndian.PutUint32(buf[20:], uint32(sb.Root))
@@ -141,11 +180,8 @@ func DecodeSuperblock(buf []byte) (Superblock, error) {
 		return Superblock{}, fmt.Errorf("%w: %q", ErrBadMagic, buf[0:8])
 	}
 	v := binary.LittleEndian.Uint16(buf[8:])
-	if v < FormatVersion1 || v > FormatVersion {
-		return Superblock{}, fmt.Errorf("%w: %d (supported: %d..%d)", ErrBadVersion, v, FormatVersion1, FormatVersion)
-	}
-	if r := binary.LittleEndian.Uint16(buf[10:]); r != 0 {
-		return Superblock{}, fmt.Errorf("%w: reserved field %#x", ErrCorrupt, r)
+	if v < FormatVersion1 || v > maxFormatVersion {
+		return Superblock{}, fmt.Errorf("%w: %d (supported: %d..%d)", ErrBadVersion, v, FormatVersion1, maxFormatVersion)
 	}
 	want := binary.LittleEndian.Uint32(buf[68:])
 	if got := crc32.ChecksumIEEE(buf[:68]); got != want {
@@ -153,6 +189,7 @@ func DecodeSuperblock(buf []byte) (Superblock, error) {
 	}
 	sb := Superblock{
 		Version:  int(v),
+		Flags:    binary.LittleEndian.Uint16(buf[10:]),
 		PageSize: int(binary.LittleEndian.Uint32(buf[12:])),
 		NumPages: int(binary.LittleEndian.Uint32(buf[16:])),
 		Root:     PageID(binary.LittleEndian.Uint32(buf[20:])),
@@ -172,8 +209,16 @@ func DecodeSuperblock(buf []byte) (Superblock, error) {
 // sane page size, a root that lies inside the page range, and height/count
 // agreement.
 func (sb Superblock) Validate() error {
-	if v := sb.effectiveVersion(); v < FormatVersion1 || v > FormatVersion {
-		return fmt.Errorf("%w: %d (supported: %d..%d)", ErrBadVersion, v, FormatVersion1, FormatVersion)
+	v := sb.effectiveVersion()
+	if v < FormatVersion1 || v > maxFormatVersion {
+		return fmt.Errorf("%w: %d (supported: %d..%d)", ErrBadVersion, v, FormatVersion1, maxFormatVersion)
+	}
+	if v < FormatVersion3 {
+		if sb.Flags != 0 {
+			return fmt.Errorf("%w: reserved field %#x", ErrCorrupt, sb.Flags)
+		}
+	} else if sb.Flags != FlagPackedPages {
+		return fmt.Errorf("%w: v%d flags %#x (want %#x)", ErrCorrupt, v, sb.Flags, FlagPackedPages)
 	}
 	if sb.PageSize < SuperblockSize || sb.PageSize > 1<<24 {
 		return fmt.Errorf("%w: page size %d", ErrCorrupt, sb.PageSize)
@@ -201,7 +246,15 @@ func (sb Superblock) Validate() error {
 
 // fileSize returns the total byte length a well-formed file with this
 // superblock must have: header block, page image, and (v2) the table trailer.
+// For a packed (v3) file the blobs are variable-length, so this is the
+// *minimum* legal size — header, directory, one byte per blob, table; the
+// exact end of file is dir[NumPages] + PageTableSize and is checked once the
+// directory is decoded.
 func (sb Superblock) fileSize() int64 {
+	if sb.Packed() {
+		return int64(sb.PageSize) + int64(PageDirSize(sb.NumPages)) +
+			int64(sb.NumPages) + int64(PageTableSize(sb.NumPages))
+	}
 	n := int64(sb.PageSize) * int64(1+sb.NumPages)
 	if sb.hasPageTable() {
 		n += int64(PageTableSize(sb.NumPages))
@@ -255,6 +308,56 @@ func DecodePageTable(buf []byte, numPages int) ([]uint32, error) {
 	return table, nil
 }
 
+// PageDirSize returns the encoded size in bytes of a v3 page directory
+// covering numPages pages: numPages+1 uint64 offsets plus the directory's own
+// CRC-32.
+func PageDirSize(numPages int) int { return 8*(numPages+1) + 4 }
+
+// EncodePageDir serializes the v3 page directory — dir[i] is the absolute
+// file offset of page i's blob, dir[len(dir)-1] the end of the last blob —
+// into buf, little endian, followed by a CRC-32 of the offset bytes.
+func EncodePageDir(dir []uint64, buf []byte) error {
+	need := 8*len(dir) + 4
+	if len(buf) < need {
+		return fmt.Errorf("storage: page directory buffer %d smaller than %d", len(buf), need)
+	}
+	for i, off := range dir {
+		binary.LittleEndian.PutUint64(buf[8*i:], off)
+	}
+	binary.LittleEndian.PutUint32(buf[8*len(dir):], crc32.ChecksumIEEE(buf[:8*len(dir)]))
+	return nil
+}
+
+// DecodePageDir parses and validates the page directory of a packed index
+// described by sb: CRC over the offsets, blobs starting right after the
+// directory, strictly increasing offsets, and every blob within
+// [1, 1+PageSize] bytes (the raw-fallback ceiling of the codec). Failures
+// carry ErrTruncated, ErrBadChecksum, or ErrCorrupt.
+func DecodePageDir(buf []byte, sb Superblock) ([]uint64, error) {
+	need := PageDirSize(sb.NumPages)
+	if len(buf) < need {
+		return nil, fmt.Errorf("%w: %d bytes, page directory needs %d", ErrTruncated, len(buf), need)
+	}
+	n := 8 * (sb.NumPages + 1)
+	want := binary.LittleEndian.Uint32(buf[n:])
+	if got := crc32.ChecksumIEEE(buf[:n]); got != want {
+		return nil, fmt.Errorf("%w: page directory: computed %08x, stored %08x", ErrBadChecksum, got, want)
+	}
+	dir := make([]uint64, sb.NumPages+1)
+	for i := range dir {
+		dir[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	if dir[0] != uint64(sb.PageSize)+uint64(need) {
+		return nil, fmt.Errorf("%w: first blob at %d, directory ends at %d", ErrCorrupt, dir[0], sb.PageSize+need)
+	}
+	for i := 0; i < sb.NumPages; i++ {
+		if dir[i+1] <= dir[i] || dir[i+1]-dir[i] > uint64(sb.PageSize)+1 {
+			return nil, fmt.Errorf("%w: page %d blob spans [%d, %d)", ErrCorrupt, i, dir[i], dir[i+1])
+		}
+	}
+	return dir, nil
+}
+
 // VerifyPage checks one fetched page image against the checksum table,
 // naming the offending page in the returned ErrBadChecksum.
 func VerifyPage(table []uint32, id PageID, page []byte) error {
@@ -286,15 +389,19 @@ func (c *checksumPager) ReadPage(id PageID, buf []byte) error {
 // checksum table. sb must describe src exactly (page size and page count);
 // sb.Version selects the emitted format — zero means the current
 // FormatVersion, FormatVersion1 writes the legacy table-less layout (kept
-// for compatibility fixtures). The file is written to a temp sibling and
-// renamed into place, so a crashed Save never leaves a half-written index
-// at path.
+// for compatibility fixtures), FormatVersion3 packs pages into compressed
+// blobs behind a page directory (the packed flag is set automatically). The
+// file is written to a temp sibling and renamed into place, so a crashed
+// Save never leaves a half-written index at path.
 func WriteIndexFile(path string, sb Superblock, src Pager) error {
 	if sb.PageSize != src.PageSize() {
 		return fmt.Errorf("storage: superblock page size %d != pager page size %d", sb.PageSize, src.PageSize())
 	}
 	if sb.NumPages != src.NumPages() {
 		return fmt.Errorf("storage: superblock page count %d != pager page count %d", sb.NumPages, src.NumPages())
+	}
+	if sb.Packed() {
+		sb.Flags = FlagPackedPages
 	}
 	// A unique temp name per writer: concurrent Saves to the same path must
 	// not interleave into one tmp file, or the rename would install a blend
@@ -315,6 +422,15 @@ func WriteIndexFile(path string, sb Superblock, src Pager) error {
 		}
 		if _, err := w.Write(header); err != nil {
 			return err
+		}
+		if sb.Packed() {
+			if err := writePackedBody(w, sb, src); err != nil {
+				return err
+			}
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			return f.Sync()
 		}
 		var table []uint32
 		if sb.hasPageTable() {
@@ -396,8 +512,10 @@ func SniffIndexFile(path string) bool {
 // Pager over its pages, materialized by the chosen backend, plus the decoded
 // superblock. For format v2 files every page read through the returned pager
 // is verified against the page checksum table (the mem backend verifies the
-// whole image once at load). Validation failures carry the typed errors
-// above.
+// whole image once at load). Packed v3 files open on the same backends:
+// blobs decode to verbatim page images — eagerly for mem, per buffer-pool
+// miss for file and mmap — and verify against the same table. Validation
+// failures carry the typed errors above.
 func OpenIndexFile(path string, backend Backend) (Pager, Superblock, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -421,6 +539,13 @@ func OpenIndexFile(path string, backend Backend) (Pager, Superblock, error) {
 	if need := sb.fileSize(); info.Size() < need {
 		f.Close()
 		return nil, Superblock{}, fmt.Errorf("%w: %d bytes, superblock promises %d", ErrTruncated, info.Size(), need)
+	}
+	if sb.Packed() {
+		pager, err := openPackedIndexFile(f, info.Size(), sb, backend)
+		if err != nil {
+			return nil, Superblock{}, err
+		}
+		return pager, sb, nil
 	}
 	var table []uint32
 	if sb.hasPageTable() {

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/pagecodec"
 )
 
 // ErrRemote is the typed failure of the HTTP pager: the server answered, but
@@ -122,12 +124,14 @@ func (s RemoteStats) Sub(o RemoteStats) RemoteStats {
 
 // HTTPPager is a read-only Pager over an index file served by any HTTP
 // server that supports range requests (GET with a Range header): page i is
-// one ranged fetch of PageSize bytes at offset PageSize·(1+i). Every fetched
-// page of a format-v2 index is verified against the per-page checksum table
-// before it is returned, so a corrupting transport cannot hand the tree a
-// bad node; transient failures (timeouts, 5xx, short reads, checksum
-// mismatches) are retried with capped exponential backoff. Construct with
-// OpenIndexURL. Safe for concurrent use.
+// one ranged fetch — PageSize bytes at offset PageSize·(1+i), or for a
+// packed (v3) index the compressed blob its page directory locates, decoded
+// locally. Every fetched page of a format-v2/v3 index is verified against
+// the per-page checksum table before it is returned, so a corrupting
+// transport cannot hand the tree a bad node; transient failures (timeouts,
+// 5xx, short reads, checksum mismatches, undecodable blobs) are retried with
+// capped exponential backoff. Construct with OpenIndexURL. Safe for
+// concurrent use.
 type HTTPPager struct {
 	url      string
 	cfg      HTTPPagerConfig
@@ -135,6 +139,7 @@ type HTTPPager struct {
 	pageSize int
 	numPages int
 	table    []uint32 // per-page CRCs; nil for v1 files (unverified pages)
+	dir      []uint64 // packed (v3) blob offsets; nil for fixed-layout files
 
 	// ctx cancels every in-flight and future fetch when the pager closes,
 	// so Close (and the prefetcher drain above it) never waits out a retry
@@ -176,9 +181,11 @@ type pageFlight struct {
 
 // OpenIndexURL validates the index file served at url and returns a
 // read-only remote Pager over its pages plus the decoded superblock. The
-// superblock and (format v2) the page checksum table are fetched and
-// verified up front; pages fetch lazily, one range request per buffer-pool
-// miss. Validation failures carry the same typed errors as OpenIndexFile.
+// superblock, (format v2+) the page checksum table, and (packed v3) the page
+// directory are fetched and verified up front; pages fetch lazily, one range
+// request per buffer-pool miss — for packed indexes that request covers the
+// compressed blob, typically under half the page size. Validation failures
+// carry the same typed errors as OpenIndexFile.
 //
 // Format v1 files open too, but carry no page table, so individual page
 // fetches cannot be verified — prefer re-saving as v2 before serving over a
@@ -207,6 +214,37 @@ func OpenIndexURL(url string, cfg HTTPPagerConfig) (*HTTPPager, Superblock, erro
 	}
 	p.pageSize = sb.PageSize
 	p.numPages = sb.NumPages
+	if sb.Packed() {
+		// Packed layout: fetch and validate the page directory, then the
+		// checksum table it locates. Each page read below becomes one ranged
+		// fetch of the blob, decoded and verified locally.
+		dbuf, _, err := p.fetchVerified(int64(sb.PageSize), PageDirSize(sb.NumPages),
+			func(b []byte) error {
+				_, err := DecodePageDir(b, sb)
+				return err
+			})
+		if err != nil {
+			return nil, Superblock{}, fmt.Errorf("storage: open index url %s: %w", url, err)
+		}
+		if p.dir, err = DecodePageDir(dbuf, sb); err != nil {
+			return nil, Superblock{}, fmt.Errorf("storage: open index url %s: %w", url, err)
+		}
+		if end := int64(p.dir[sb.NumPages]) + int64(PageTableSize(sb.NumPages)); total >= 0 && total < end {
+			return nil, Superblock{}, fmt.Errorf("storage: open index url %s: %w: %d bytes, page directory promises %d", url, ErrTruncated, total, end)
+		}
+		tbuf, _, err := p.fetchVerified(int64(p.dir[sb.NumPages]), PageTableSize(sb.NumPages),
+			func(b []byte) error {
+				_, err := DecodePageTable(b, sb.NumPages)
+				return err
+			})
+		if err != nil {
+			return nil, Superblock{}, fmt.Errorf("storage: open index url %s: %w", url, err)
+		}
+		if p.table, err = DecodePageTable(tbuf, sb.NumPages); err != nil {
+			return nil, Superblock{}, fmt.Errorf("storage: open index url %s: %w", url, err)
+		}
+		return p, sb, nil
+	}
 	if sb.hasPageTable() {
 		tbuf, _, err := p.fetchVerified(int64(sb.PageSize)*int64(1+sb.NumPages), PageTableSize(sb.NumPages),
 			func(b []byte) error {
@@ -277,7 +315,7 @@ func (p *HTTPPager) ReadPage(id PageID, buf []byte) error {
 	p.inflight[id] = f
 	p.sfMu.Unlock()
 
-	page, _, err := p.fetchVerified(p.pageOffset(id), p.pageSize, p.verifyFor(id))
+	page, err := p.fetchPage(id)
 	f.body, f.err = page, err
 	p.sfMu.Lock()
 	delete(p.inflight, id)
@@ -326,24 +364,51 @@ func (p *HTTPPager) ReadPageRange(first PageID, n int) ([][]byte, error) {
 		p.coalesced.Add(1)
 	}
 
-	verify := func(b []byte) error {
-		if p.table == nil {
+	pages := make([][]byte, n)
+	var off int64
+	var length int
+	var verify func([]byte) error
+	if p.dir != nil {
+		// Packed: one ranged fetch of the blob run [dir[first], dir[first+n]);
+		// each blob decodes into its own page buffer and verifies during the
+		// fetch's verification pass, so a corrupt blob retries like any
+		// transit failure.
+		base := p.dir[first]
+		off, length = int64(base), int(p.dir[int(first)+n]-base)
+		verify = func(b []byte) error {
+			for i := 0; i < n; i++ {
+				if pages[i] == nil {
+					pages[i] = make([]byte, p.pageSize)
+				}
+				blob := b[p.dir[int(first)+i]-base : p.dir[int(first)+i+1]-base]
+				if err := p.decodePacked(first+PageID(i), pages[i], blob); err != nil {
+					return err
+				}
+			}
 			return nil
 		}
-		for i := 0; i < n; i++ {
-			if err := VerifyPage(p.table, first+PageID(i), b[i*p.pageSize:(i+1)*p.pageSize]); err != nil {
-				p.checksumFail.Add(1)
-				return err
+	} else {
+		off, length = p.pageOffset(first), n*p.pageSize
+		verify = func(b []byte) error {
+			if p.table == nil {
+				return nil
 			}
+			for i := 0; i < n; i++ {
+				if err := VerifyPage(p.table, first+PageID(i), b[i*p.pageSize:(i+1)*p.pageSize]); err != nil {
+					p.checksumFail.Add(1)
+					return err
+				}
+			}
+			return nil
 		}
-		return nil
 	}
-	body, _, err := p.fetchVerified(p.pageOffset(first), n*p.pageSize, verify)
+	body, _, err := p.fetchVerified(off, length, verify)
 
-	pages := make([][]byte, n)
 	if err == nil {
-		for i := range pages {
-			pages[i] = body[i*p.pageSize : (i+1)*p.pageSize : (i+1)*p.pageSize]
+		if p.dir == nil {
+			for i := range pages {
+				pages[i] = body[i*p.pageSize : (i+1)*p.pageSize : (i+1)*p.pageSize]
+			}
 		}
 		p.reads.Add(int64(n))
 	}
@@ -370,6 +435,40 @@ func (p *HTTPPager) ReadPageRange(first PageID, n int) ([][]byte, error) {
 		return nil, fmt.Errorf("storage: read pages [%d,%d) from %s: %w", first, int(first)+n, p.url, err)
 	}
 	return pages, nil
+}
+
+// fetchPage fetches one page with a single ranged request (plus retries):
+// the fixed-offset page image directly, or — packed layout — the blob at
+// [dir[id], dir[id+1]), decoded and verified before it counts as fetched.
+func (p *HTTPPager) fetchPage(id PageID) ([]byte, error) {
+	if p.dir == nil {
+		body, _, err := p.fetchVerified(p.pageOffset(id), p.pageSize, p.verifyFor(id))
+		return body, err
+	}
+	page := make([]byte, p.pageSize)
+	_, _, err := p.fetchVerified(int64(p.dir[id]), int(p.dir[id+1]-p.dir[id]), func(b []byte) error {
+		return p.decodePacked(id, page, b)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return page, nil
+}
+
+// decodePacked decodes one fetched blob into page and verifies the result
+// against the checksum table. Both failure modes are reported as
+// ErrBadChecksum: over a ranged fetch a malformed blob is indistinguishable
+// from transit corruption, so it must stay retryable.
+func (p *HTTPPager) decodePacked(id PageID, page, blob []byte) error {
+	if err := pagecodec.DecodePage(page, blob); err != nil {
+		p.checksumFail.Add(1)
+		return fmt.Errorf("%w: page %d: %v", ErrBadChecksum, id, err)
+	}
+	if err := VerifyPage(p.table, id, page); err != nil {
+		p.checksumFail.Add(1)
+		return err
+	}
+	return nil
 }
 
 // pageOffset returns the file offset of page id (pages start after the

@@ -19,3 +19,15 @@ var ErrMmapUnsupported = errors.New("storage: mmap backend not supported on this
 func newMmapPager(f *os.File, pageSize int, base int64, numPages int) (Pager, error) {
 	return nil, ErrMmapUnsupported
 }
+
+// mmapReaderAt is unavailable on non-unix platforms; only the constructor's
+// error path is ever reached.
+type mmapReaderAt struct{}
+
+func (*mmapReaderAt) ReadAt(p []byte, off int64) (int, error) { return 0, ErrMmapUnsupported }
+func (*mmapReaderAt) Close() error                            { return nil }
+
+// newMmapReaderAt fails on non-unix platforms.
+func newMmapReaderAt(f *os.File, length int64) (*mmapReaderAt, error) {
+	return nil, ErrMmapUnsupported
+}

@@ -4,6 +4,7 @@ package storage
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -86,6 +87,63 @@ func (m *MmapPager) WritePage(id PageID, buf []byte) error {
 // never writes).
 func (m *MmapPager) Stats() Stats {
 	return Stats{Reads: m.reads.Load()}
+}
+
+// mmapReaderAt serves ReadAt from a read-only mapping of a file's leading
+// bytes. It is the packed (v3) mmap backend's substrate: blobs are
+// variable-length, so the page-granular MmapPager does not fit, but the
+// no-syscall read property carries over. The caller may close the file once
+// this returns; the mapping keeps the bytes alive.
+type mmapReaderAt struct {
+	data []byte
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// newMmapReaderAt maps the first length bytes of f read-only.
+func newMmapReaderAt(f *os.File, length int64) (*mmapReaderAt, error) {
+	if length == 0 {
+		return &mmapReaderAt{}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(length), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("storage: mmap index file: %w", err)
+	}
+	return &mmapReaderAt{data: data}, nil
+}
+
+// ReadAt copies bytes out of the mapping. Lock-free; a racing Close degrades
+// to os.ErrClosed in the common case (see MmapPager.ReadPage).
+func (m *mmapReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	data := m.data
+	if data == nil {
+		return 0, os.ErrClosed
+	}
+	if off < 0 || off > int64(len(data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Close unmaps the bytes. Idempotent.
+func (m *mmapReaderAt) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
 }
 
 // Close unmaps the file. Reads racing Close are the caller's bug (as with

@@ -64,13 +64,25 @@ func IsIndexURL(src string) bool { return storage.IsIndexURL(src) }
 // The file is written atomically (temp + rename). A saved index reopens via
 // OpenIndex or Engine.OpenIndex in any later process, skipping the build
 // entirely; the conventional extension is ".rcjx".
-func (ix *Index) Save(path string) error {
+func (ix *Index) Save(path string) error { return ix.save(path, 0) }
+
+// SavePacked writes the index at path in the packed format (v3): leaf pages
+// delta/varint-compressed behind a page directory, typically around half the
+// v2 size on bulk-loaded indexes. The file reopens on every backend — mem,
+// file, mmap, and over HTTP, where each buffer-pool miss then fetches the
+// compressed blob instead of a full page — and joins byte-identically to the
+// v2 form. Readers from before format v3 reject it (ErrBadVersion); Save
+// keeps emitting v2 for them.
+func (ix *Index) SavePacked(path string) error { return ix.save(path, storage.FormatVersion3) }
+
+func (ix *Index) save(path string, version int) error {
 	meta := ix.tree.Meta()
 	mbr, err := ix.tree.RootMBR()
 	if err != nil {
 		return fmt.Errorf("rcj: save index: %w", err)
 	}
 	sb := storage.Superblock{
+		Version:  version,
 		PageSize: ix.tree.PageSize(),
 		NumPages: ix.pager.NumPages(),
 		Root:     meta.Root,
@@ -108,7 +120,18 @@ func OpenIndex(src string, cfg IndexConfig) (*Index, error) {
 // checksum table, and hides round trips behind async readahead. See the
 // package-level OpenIndex for cfg semantics.
 func (e *Engine) OpenIndex(src string, cfg IndexConfig) (*Index, error) {
-	return openIndex(src, cfg, e.pool, e.nextOwner.Add(1), true)
+	ix, err := openIndex(src, cfg, e.pool, e.nextOwner.Add(1), true)
+	if err != nil {
+		return nil, err
+	}
+	if e.nodeCache != nil {
+		// Opened indexes are immutable, so decoded nodes can be cached across
+		// buffer evictions under a generation retired when the index closes.
+		ix.nodeCache = e.nodeCache
+		ix.cacheOwner = e.nodeCache.NewOwner()
+		ix.tree.SetNodeCache(ix.nodeCache, ix.cacheOwner)
+	}
+	return ix, nil
 }
 
 // openIndex is the shared reopen path: validate the file (or URL), stand up

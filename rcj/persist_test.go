@@ -228,7 +228,7 @@ func TestOpenIndexCorruption(t *testing.T) {
 		{"truncated superblock", func(b []byte) []byte { return b[:40] }, storage.ErrTruncated},
 		{"wrong magic", func(b []byte) []byte { b[0] = 'Z'; return b }, storage.ErrBadMagic},
 		{"future version", func(b []byte) []byte {
-			binary.LittleEndian.PutUint16(b[8:], storage.FormatVersion+1)
+			binary.LittleEndian.PutUint16(b[8:], storage.FormatVersion3+1)
 			return b
 		}, storage.ErrBadVersion},
 		{"bad checksum", func(b []byte) []byte { b[28] ^= 0x01; return b }, storage.ErrBadChecksum},

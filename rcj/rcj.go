@@ -122,6 +122,9 @@ type Index struct {
 	backend  Backend            // substrate of an opened index (mem for builds)
 	remote   *storage.HTTPPager // non-nil for http-backend indexes
 	prefetch *buffer.Prefetcher // non-nil when async readahead is running
+
+	nodeCache  *rtree.NodeCache // engine's decoded-node cache; nil = off
+	cacheOwner uint64           // this index's generation in nodeCache
 }
 
 // ErrNoPoints is returned when building an index from an empty slice.
@@ -250,6 +253,9 @@ func (ix *Index) Close() error {
 	}
 	if ix.shared {
 		ix.pool.InvalidateOwner(ix.owner)
+	}
+	if ix.nodeCache != nil {
+		ix.nodeCache.InvalidateOwner(ix.cacheOwner)
 	}
 	if cerr := ix.pager.Close(); err == nil {
 		err = cerr
