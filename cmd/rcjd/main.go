@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -72,6 +73,9 @@ func main() {
 		cachePairs    = flag.Int("result-cache-pairs", server.DefaultResultCachePairs, "max pairs per memoized result")
 		nodeCache     = flag.Int("node-cache", 0, "second-level decoded-node cache in nodes, serving buffer misses without re-reading pages (0 = off)")
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
+		manifest      = flag.String("manifest", "", "shard manifest (.rcjm) to serve as a sharded-deployment worker")
+		shardIDs      = flag.String("shards", "", "comma-separated shard ids of -manifest to own (default: all populated shards)")
+		manifestBase  = flag.String("manifest-base", "", "URL or directory prefix overriding the manifest's relative shard paths (e.g. http://storage:9000/idx)")
 	)
 	indexes := map[string]string{}
 	flag.Func("index", "saved index to serve, as name=path.rcjx or name=https://host/ix.rcjx (repeatable)", func(v string) error {
@@ -87,10 +91,23 @@ func main() {
 	})
 	flag.Parse()
 
-	if len(indexes) == 0 {
-		fmt.Fprintln(os.Stderr, "rcjd: at least one -index name=path.rcjx is required")
+	if len(indexes) == 0 && *manifest == "" {
+		fmt.Fprintln(os.Stderr, "rcjd: at least one -index name=path.rcjx (or a -manifest) is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	var shards []int
+	if *shardIDs != "" {
+		if *manifest == "" {
+			fatalf("-shards requires -manifest")
+		}
+		for _, f := range strings.Split(*shardIDs, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fatalf("bad -shards entry %q: %v", f, err)
+			}
+			shards = append(shards, id)
+		}
 	}
 	be, err := rcj.ParseBackend(*backend)
 	if err != nil {
@@ -103,6 +120,9 @@ func main() {
 	err = server.RunDaemon(ctx, server.DaemonConfig{
 		Addr:           *addr,
 		Indexes:        indexes,
+		Manifest:       *manifest,
+		ManifestShards: shards,
+		ManifestBase:   *manifestBase,
 		Backend:        be,
 		BufferPages:    *bufPages,
 		BufferShards:   *bufShards,

@@ -57,6 +57,9 @@ import (
 	"strings"
 	"syscall"
 
+	"path/filepath"
+
+	"repro/internal/shard"
 	"repro/internal/workload"
 	"repro/rcj"
 )
@@ -83,6 +86,9 @@ func main() {
 		region   = flag.String("region", "", "window the middleman location must fall in, as minX,minY,maxX,maxY (pushdown)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		shardN   = flag.Int("save-shards", 0, "instead of joining, partition the inputs into this many spatial shards for a rcjd/rcjrouter deployment")
+		shardOut = flag.String("shards-out", "", "manifest path for -save-shards (.rcjm; shard .rcjx files are written next to it)")
+		shardD   = flag.Float64("shard-max-diameter", 0, "diameter bound baked into the -save-shards manifest (default: -max-diameter)")
 	)
 	flag.Parse()
 
@@ -171,6 +177,49 @@ func main() {
 	}
 	ixP := loadIndex(*pPath, *saveP)
 	defer ixP.Close()
+
+	if *shardN > 0 {
+		// Shard emission replaces the join: partition the inputs, write the
+		// per-shard .rcjx files and the .rcjm manifest, and exit.
+		if *shardOut == "" {
+			fatalf("-save-shards requires -shards-out manifest.rcjm")
+		}
+		bound := *shardD
+		if bound == 0 {
+			bound = *maxDiam
+		}
+		if bound <= 0 {
+			fatalf("-save-shards needs a diameter bound: set -shard-max-diameter (or -max-diameter)")
+		}
+		pPts, err := ixP.Points()
+		if err != nil {
+			fatalf("read points of %s: %v", *pPath, err)
+		}
+		var qPts []rcj.Point
+		if !*self {
+			ixQ := loadIndex(*qPath, *saveQ)
+			defer ixQ.Close()
+			if qPts, err = ixQ.Points(); err != nil {
+				fatalf("read points of %s: %v", *qPath, err)
+			}
+		}
+		name := strings.TrimSuffix(filepath.Base(*shardOut), shard.Ext)
+		m, err := shard.Build(*shardOut, pPts, qPts, shard.BuildConfig{
+			Shards: *shardN, MaxDiameter: bound, Name: name, Self: *self, Packed: *savePack,
+		})
+		if err != nil {
+			fatalf("shard build: %v", err)
+		}
+		populated := 0
+		for _, sh := range m.Shards {
+			if !sh.Empty() {
+				populated++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "rcjjoin: wrote %d shards (%dx%d grid, margin %g) and manifest %s\n",
+			populated, m.GridNX, m.GridNY, m.Margin, *shardOut)
+		return
+	}
 
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()

@@ -184,9 +184,11 @@ type Stats struct {
 	// OuterLeaves counts TQ leaves processed, the unit the sampling cost
 	// estimator extrapolates over.
 	OuterLeaves int64
-	// NodesPruned counts TP subtrees the query predicates (MaxDiameter,
-	// TopK's dynamic bound, Region) discarded without reading — the
-	// observable work pushdown saved versus the unconstrained join.
+	// NodesPruned counts subtrees the query predicates discarded without
+	// reading — TP subtrees cut by MaxDiameter, TopK's dynamic bound, or
+	// Region, plus outer TQ subtrees whose midpoint rect with TP misses the
+	// Region window — the observable work pushdown saved versus the
+	// unconstrained join.
 	NodesPruned int64
 	// BoundKilledCandidates counts filtered candidates dropped at the start
 	// of verification because the diameter bound had tightened past them

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 
+	"repro/internal/geom"
 	"repro/internal/rtree"
 	"repro/internal/storage"
 )
@@ -125,11 +126,64 @@ func (j *joiner) verifyAndEmit(cands []*candidate) error {
 	return nil
 }
 
+// leafPruner is the optional access-method capability the Region pushdown
+// needs on the outer input: traversals that can skip whole subtrees by entry
+// MBR without reading them. The R*-tree implements it; an index that does
+// not simply runs the unpruned outer loop (still correct, just more work).
+type leafPruner interface {
+	VisitLeavesPruned(skip func(geom.Rect) bool, fn func(*rtree.Node) error) (int64, error)
+	LeafPagesPruned(skip func(geom.Rect) bool) ([]storage.PageID, int64, error)
+}
+
+// outerSkip compiles the Region window into an outer-traversal subtree
+// filter, or nil when the pushdown does not apply. A candidate circle's
+// center is the midpoint of a TQ point and a TP point, so the centers a TQ
+// subtree can produce all lie in the midpoint rect of its MBR with TP's root
+// MBR; when that rect misses the window, no pair from the subtree can pass
+// admitPair and the subtree is skipped unread. Verification is unaffected —
+// it runs against the full trees, and Ψ− pruner state is scoped to the query
+// points actually filtered — so the result set is identical (the property
+// suite sweeps this). Sampling runs keep the unpruned schedule: the cost
+// estimator extrapolates from every k-th leaf of the *full* leaf list.
+func (j *joiner) outerSkip() func(geom.Rect) bool {
+	if j.opts.Region == nil || j.opts.LeafSampleEvery > 1 {
+		return nil
+	}
+	if _, ok := j.tq.(leafPruner); !ok {
+		return nil
+	}
+	root := j.tp.Root()
+	if root == storage.InvalidPageID {
+		return nil
+	}
+	n, err := j.tp.ReadNode(root)
+	if err != nil {
+		// The traversal proper will surface the read error; just don't prune.
+		return nil
+	}
+	tp := n.MBR()
+	window := *j.opts.Region
+	return func(rect geom.Rect) bool {
+		mid := geom.Rect{
+			MinX: (rect.MinX + tp.MinX) / 2,
+			MinY: (rect.MinY + tp.MinY) / 2,
+			MaxX: (rect.MaxX + tp.MaxX) / 2,
+			MaxY: (rect.MaxY + tp.MaxY) / 2,
+		}
+		return !mid.Intersects(window)
+	}
+}
+
 // forEachQLeaf drives the sequential outer loop over TQ leaves: depth-first
 // by default (Section 3.4's locality argument), by explicit page list when
 // the order is shuffled or sampled.
 func (j *joiner) forEachQLeaf(fn func(*rtree.Node) error) error {
 	if !j.opts.RandomLeafOrder && j.opts.LeafSampleEvery <= 1 {
+		if skip := j.outerSkip(); skip != nil {
+			skipped, err := j.tq.(leafPruner).VisitLeavesPruned(skip, fn)
+			j.stats.NodesPruned += skipped
+			return err
+		}
 		return j.tq.VisitLeaves(fn)
 	}
 	pages, err := j.outerLeafPages()
@@ -149,10 +203,20 @@ func (j *joiner) forEachQLeaf(fn func(*rtree.Node) error) error {
 }
 
 // outerLeafPages materializes the outer leaf schedule: all TQ leaf pages in
-// depth-first order, shuffled when the ablation asks for it, then sampled
-// every k-th for the cost estimator.
+// depth-first order (Region-pruned when the pushdown applies), shuffled when
+// the ablation asks for it, then sampled every k-th for the cost estimator.
 func (j *joiner) outerLeafPages() ([]storage.PageID, error) {
-	pages, err := j.tq.LeafPages()
+	var (
+		pages []storage.PageID
+		err   error
+	)
+	if skip := j.outerSkip(); skip != nil {
+		var skipped int64
+		pages, skipped, err = j.tq.(leafPruner).LeafPagesPruned(skip)
+		j.stats.NodesPruned += skipped
+	} else {
+		pages, err = j.tq.LeafPages()
+	}
 	if err != nil {
 		return nil, err
 	}

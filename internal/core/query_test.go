@@ -279,3 +279,45 @@ func TestBoundBatchKillsStaleCandidates(t *testing.T) {
 		}
 	})
 }
+
+// TestRegionOuterPruning extends the pushdown-equivalence property to the
+// outer traversal: a selective Region window must skip outer TQ leaves whose
+// midpoint rect with TP misses the window — strictly fewer OuterLeaves than
+// the unpruned run and NodesPruned > 0 — while returning exactly the
+// post-filtered unconstrained result, on both the sequential and parallel
+// paths.
+func TestRegionOuterPruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ps := randomPoints(rng, 1200)
+	qs := randomPoints(rng, 1200)
+	tp := buildTree(t, ps, nil, 0, true)
+	tq := buildTree(t, qs, nil, 1, true)
+
+	full, base, err := Join(tq, tp, Options{Algorithm: AlgOBJ, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A window in one corner of the 10000² universe: centers are midpoints,
+	// so query points beyond ~2× the window's extent cannot contribute.
+	window := &geom.Rect{MinX: 0, MinY: 0, MaxX: 1500, MaxY: 1500}
+	want := postFilter(full, Options{Region: window})
+
+	for _, alg := range []Algorithm{AlgINJ, AlgBIJ, AlgOBJ} {
+		for _, par := range []int{1, 3} {
+			got, st, err := Join(tq, tp, Options{
+				Algorithm: alg, Parallelism: par, Collect: true, Region: window,
+			})
+			if err != nil {
+				t.Fatalf("%v par=%d: %v", alg, par, err)
+			}
+			diffPairs(t, fmt.Sprintf("%v par=%d region", alg, par), want, got)
+			if st.OuterLeaves >= base.OuterLeaves {
+				t.Errorf("%v par=%d: OuterLeaves = %d, not below unpruned %d — outer Region pushdown never engaged",
+					alg, par, st.OuterLeaves, base.OuterLeaves)
+			}
+			if st.NodesPruned == 0 {
+				t.Errorf("%v par=%d: NodesPruned = 0", alg, par)
+			}
+		}
+	}
+}

@@ -158,6 +158,114 @@ func (t *Tree) visitLeavesRec(id storage.PageID, fn func(*Node) error) error {
 	return nil
 }
 
+// VisitLeavesPruned is VisitLeaves with a subtree filter: a subtree whose
+// entry MBR satisfies skip is neither read nor descended, and a root leaf is
+// tested against its own MBR. It returns the number of subtrees skipped.
+// The query executor uses it to push the Region window into the *outer*
+// traversal: a leaf of TQ whose midpoint rect with TP's MBR misses the
+// window cannot produce a qualifying circle center, so it is never read.
+func (t *Tree) VisitLeavesPruned(skip func(geom.Rect) bool, fn func(*Node) error) (int64, error) {
+	if t.root == storage.InvalidPageID {
+		return 0, nil
+	}
+	n, err := t.ReadNode(t.root)
+	if err != nil {
+		return 0, err
+	}
+	if n.Leaf {
+		if skip(n.MBR()) {
+			return 1, nil
+		}
+		return 0, fn(n)
+	}
+	var skipped int64
+	for _, e := range n.Children {
+		if skip(e.MBR) {
+			skipped++
+			continue
+		}
+		if err := t.visitLeavesPrunedRec(e.Child, skip, fn, &skipped); err != nil {
+			return skipped, err
+		}
+	}
+	return skipped, nil
+}
+
+func (t *Tree) visitLeavesPrunedRec(id storage.PageID, skip func(geom.Rect) bool, fn func(*Node) error, skipped *int64) error {
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return err
+	}
+	if n.Leaf {
+		return fn(n)
+	}
+	for _, e := range n.Children {
+		if skip(e.MBR) {
+			*skipped++
+			continue
+		}
+		if err := t.visitLeavesPrunedRec(e.Child, skip, fn, skipped); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LeafPagesPruned is LeafPages with the same subtree filter as
+// VisitLeavesPruned — the parallel outer loop schedules from a page list, so
+// the Region pushdown has to happen while the list is built. Returns the
+// surviving leaf pages and the number of subtrees skipped.
+func (t *Tree) LeafPagesPruned(skip func(geom.Rect) bool) ([]storage.PageID, int64, error) {
+	if t.root == storage.InvalidPageID {
+		return nil, 0, nil
+	}
+	var (
+		out     []storage.PageID
+		skipped int64
+	)
+	n, err := t.ReadNode(t.root)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n.Leaf {
+		if skip(n.MBR()) {
+			return nil, 1, nil
+		}
+		return []storage.PageID{t.root}, 0, nil
+	}
+	for _, e := range n.Children {
+		if skip(e.MBR) {
+			skipped++
+			continue
+		}
+		if err := t.leafPagesPrunedRec(e.Child, skip, &out, &skipped); err != nil {
+			return out, skipped, err
+		}
+	}
+	return out, skipped, nil
+}
+
+func (t *Tree) leafPagesPrunedRec(id storage.PageID, skip func(geom.Rect) bool, out *[]storage.PageID, skipped *int64) error {
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return err
+	}
+	if n.Leaf {
+		*out = append(*out, id)
+		return nil
+	}
+	for _, e := range n.Children {
+		if skip(e.MBR) {
+			*skipped++
+			continue
+		}
+		if err := t.leafPagesPrunedRec(e.Child, skip, out, skipped); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // LeafPages returns the page ids of all leaves in depth-first order. The
 // search-order ablation shuffles this list to quantify the cost of losing
 // access locality.

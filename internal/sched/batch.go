@@ -380,6 +380,7 @@ func (s *Scheduler) executeBatch(b *batch) {
 	s.bufAccesses.Add(st.NodeAccesses)
 	s.bufHits.Add(st.NodeAccesses - st.PageFaults)
 	s.bufMisses.Add(st.PageFaults)
+	s.boundKilled.Add(st.BoundKilledCandidates)
 	for _, m := range live {
 		s.joinLatency.observe(elapsed)
 		mst := st

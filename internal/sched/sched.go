@@ -101,6 +101,11 @@ type Snapshot struct {
 
 	PairsEmitted int64 `json:"pairs_emitted"`
 
+	// BoundKilledCandidates sums rcj.Stats.BoundKilledCandidates over served
+	// joins: candidates a TopK run's tightened diameter bound killed before
+	// verification — branch-and-bound work the serving tier saved.
+	BoundKilledCandidates int64 `json:"bound_killed_candidates"`
+
 	// SharedBatches counts envelope traversals that served more than one
 	// request; BatchedRequests counts the requests those traversals served
 	// (see batch.go). OpenBatches/OpenBatchMembers are gauges: batches still
@@ -155,6 +160,7 @@ type Scheduler struct {
 	rejectedQueueTimeout atomic.Int64
 	rejectedDraining     atomic.Int64
 	pairsEmitted         atomic.Int64
+	boundKilled          atomic.Int64
 	batchesRun           atomic.Int64
 	batchedReqs          atomic.Int64
 	bufAccesses          atomic.Int64
@@ -419,6 +425,7 @@ func (s *Scheduler) admit(ctx context.Context, stats *rcj.Stats, mk func(context
 			}
 		}
 		s.pairsEmitted.Add(pairs)
+		s.boundKilled.Add(st.BoundKilledCandidates)
 		s.bufAccesses.Add(st.NodeAccesses)
 		s.bufHits.Add(st.NodeAccesses - st.PageFaults)
 		s.bufMisses.Add(st.PageFaults)
@@ -453,6 +460,7 @@ func (s *Scheduler) Snapshot() Snapshot {
 	snap.RejectedQueueTimeout = s.rejectedQueueTimeout.Load()
 	snap.RejectedDraining = s.rejectedDraining.Load()
 	snap.PairsEmitted = s.pairsEmitted.Load()
+	snap.BoundKilledCandidates = s.boundKilled.Load()
 	snap.SharedBatches = s.batchesRun.Load()
 	snap.BatchedRequests = s.batchedReqs.Load()
 	snap.BufferAccesses = s.bufAccesses.Load()

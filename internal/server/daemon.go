@@ -23,6 +23,14 @@ type DaemonConfig struct {
 	// Indexes maps registry names to saved .rcjx paths, all loaded before
 	// the listener accepts traffic.
 	Indexes map[string]string
+	// Manifest, when non-empty, is a shard-manifest path (.rcjm); the
+	// worker loads ManifestShards of it (nil = every populated shard) as
+	// "s<id>.p"/"s<id>.q" before the listener accepts traffic.
+	// ManifestBase optionally rebases the manifest's relative shard paths
+	// (e.g. onto an http(s) object-storage origin).
+	Manifest       string
+	ManifestShards []int
+	ManifestBase   string
 	// Backend is the pager substrate for the loaded indexes.
 	Backend rcj.Backend
 	// BufferPages / BufferShards size the engine's shared pool
@@ -108,6 +116,16 @@ func RunDaemon(ctx context.Context, cfg DaemonConfig, ready func(addr string)) e
 		}
 		e, _ := srv.lookup(name)
 		logf("rcjd: loaded index %s (%d points, %s backend) from %s", name, e.ix.Len(), cfg.Backend, path)
+	}
+	if cfg.Manifest != "" {
+		loaded, err := srv.LoadManifestShards(cfg.Manifest, cfg.ManifestShards, cfg.ManifestBase)
+		if err != nil {
+			return fmt.Errorf("load manifest %s: %w", cfg.Manifest, err)
+		}
+		for _, name := range loaded {
+			e, _ := srv.lookup(name)
+			logf("rcjd: loaded shard index %s (%d points) from %s", name, e.ix.Len(), e.path)
+		}
 	}
 
 	ln, err := net.Listen("tcp", cfg.Addr)

@@ -98,3 +98,12 @@ func appendPairCSV(b []byte, pr rcj.Pair) []byte {
 	b = append(b, '\n')
 	return b
 }
+
+// AppendPairCSV and AppendPairNDJSON are the exported forms of the pooled
+// line encoders: the scatter-gather router re-emits worker rows to its own
+// clients and must produce byte-identical lines (the CI gates diff router
+// output against rcjjoin directly).
+func AppendPairCSV(b []byte, pr rcj.Pair) []byte { return appendPairCSV(b, pr) }
+
+// AppendPairNDJSON appends one NDJSON result row; see AppendPairCSV.
+func AppendPairNDJSON(b []byte, pr rcj.Pair) []byte { return appendPairNDJSON(b, pr) }

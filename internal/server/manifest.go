@@ -1,0 +1,102 @@
+// Manifest-aware index loading: a worker in a sharded deployment loads a
+// subset of a shard manifest (internal/shard) instead of naming individual
+// .rcjx files. Each loaded shard registers its side indexes under the
+// conventional names the router addresses ("s<id>.p", "s<id>.q") and
+// advertises its owned cell on GET /indexes.
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/shard"
+)
+
+// shardMeta records the partition identity of a manifest-loaded index, the
+// extra columns GET /indexes advertises for it.
+type shardMeta struct {
+	manifest string // manifest name, not path: the deployment label
+	id       int
+	cell     shard.Rect
+}
+
+// LoadManifestShards loads the listed shards (nil = every populated shard)
+// of the manifest at path, registering each shard's indexes as
+// "s<id>.p"/"s<id>.q". base, when non-empty, rebases the manifest's
+// relative shard paths (typically onto an http(s) origin, so the worker
+// serves shards straight from object storage via the range pager).
+// Returns the registered index names; on any failure every index this call
+// had already registered is unloaded again.
+func (s *Server) LoadManifestShards(path string, ids []int, base string) ([]string, error) {
+	m, err := shard.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if ids == nil {
+		for _, sh := range m.Shards {
+			if !sh.Empty() {
+				ids = append(ids, sh.ID)
+			}
+		}
+	}
+	var loaded []string
+	rollback := func() {
+		for _, name := range loaded {
+			s.UnloadIndex(name)
+		}
+	}
+	for _, id := range ids {
+		if id < 0 || id >= len(m.Shards) {
+			rollback()
+			return nil, fmt.Errorf("server: manifest %s has no shard %d (0..%d)", path, id, len(m.Shards)-1)
+		}
+		sh := m.Shards[id]
+		if sh.Empty() {
+			rollback()
+			return nil, fmt.Errorf("server: shard %d of %s owns no points", id, path)
+		}
+		sides := []struct{ side, src string }{{"p", sh.P}}
+		if !m.Self {
+			sides = append(sides, struct{ side, src string }{"q", sh.Q})
+		}
+		for _, sd := range sides {
+			name := shard.IndexName(id, sd.side)
+			src := shard.ResolveSource(path, sd.src, base)
+			meta := &shardMeta{manifest: m.Name, id: id, cell: sh.Cell}
+			if err := s.loadIndex(name, src, meta); err != nil {
+				rollback()
+				return nil, fmt.Errorf("shard %d (%s): %w", id, src, err)
+			}
+			loaded = append(loaded, name)
+		}
+	}
+	return loaded, nil
+}
+
+// loadIndex is LoadIndex with optional shard metadata attached to the
+// registration.
+func (s *Server) loadIndex(name, path string, meta *shardMeta) error {
+	if name == "" {
+		return errors.New("server: index name must not be empty")
+	}
+	s.mu.RLock()
+	_, dup := s.indexes[name]
+	s.mu.RUnlock()
+	if dup {
+		return fmt.Errorf("%w: %q", ErrIndexExists, name)
+	}
+	ix, err := s.sched.Engine().OpenIndex(path, rcjIndexConfig(s.backend))
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if _, ok := s.indexes[name]; ok {
+		s.mu.Unlock()
+		ix.Close()
+		return fmt.Errorf("%w: %q", ErrIndexExists, name)
+	}
+	s.nextGen++
+	s.indexes[name] = &indexEntry{ix: ix, path: path, backend: ix.Backend(), gen: s.nextGen, shard: meta}
+	s.mu.Unlock()
+	return nil
+}

@@ -103,6 +103,7 @@ type indexEntry struct {
 	backend rcj.Backend
 	refs    int
 	gen     uint64
+	shard   *shardMeta // non-nil for manifest-loaded shard indexes
 }
 
 // atomic64map is a tiny fixed-key counter set for per-endpoint request
@@ -149,34 +150,19 @@ func (s *Server) Scheduler() *sched.Scheduler { return s.sched }
 // LoadIndex opens the saved index at path through the engine (shared buffer
 // pool, O(1) reattach) and registers it under name. Loading a name twice is
 // an error; indexes are immutable while registered.
+//
+// The open happens outside the registry lock (a mem-backend load reads the
+// whole page image, and in-flight /join lookups must not stall behind an
+// admin load), and the registration records the backend the index actually
+// opened with: a URL path upgrades to the http backend regardless of the
+// server's default.
 func (s *Server) LoadIndex(name, path string) error {
-	if name == "" {
-		return errors.New("server: index name must not be empty")
-	}
-	s.mu.RLock()
-	_, dup := s.indexes[name]
-	s.mu.RUnlock()
-	if dup {
-		return fmt.Errorf("%w: %q", ErrIndexExists, name)
-	}
-	// Open outside the lock: a mem-backend load reads the whole page image,
-	// and in-flight /join lookups must not stall behind an admin load.
-	ix, err := s.sched.Engine().OpenIndex(path, rcj.IndexConfig{Backend: s.backend})
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	if _, ok := s.indexes[name]; ok {
-		s.mu.Unlock()
-		ix.Close()
-		return fmt.Errorf("%w: %q", ErrIndexExists, name)
-	}
-	// Record the backend the index actually opened with: a URL path
-	// upgrades to the http backend regardless of the server's default.
-	s.nextGen++
-	s.indexes[name] = &indexEntry{ix: ix, path: path, backend: ix.Backend(), gen: s.nextGen}
-	s.mu.Unlock()
-	return nil
+	return s.loadIndex(name, path, nil)
+}
+
+// rcjIndexConfig is the open configuration LoadIndex uses.
+func rcjIndexConfig(b rcj.Backend) rcj.IndexConfig {
+	return rcj.IndexConfig{Backend: b}
 }
 
 // lookup returns the registered index for name.
@@ -326,6 +312,22 @@ type indexInfo struct {
 	InFlight      int    `json:"in_flight"`
 	Generation    uint64 `json:"generation"`
 	CachedResults int    `json:"cached_results"`
+	// Shard identity for manifest-loaded indexes: the owned cell rectangle
+	// ([minX, minY, maxX, maxY]) this worker advertises to the router.
+	Manifest string    `json:"manifest,omitempty"`
+	Shard    *int      `json:"shard,omitempty"`
+	Cell     []float64 `json:"cell,omitempty"`
+}
+
+// withShard fills the shard columns from a registration's metadata.
+func (info indexInfo) withShard(meta *shardMeta) indexInfo {
+	if meta != nil {
+		id := meta.id
+		info.Manifest = meta.manifest
+		info.Shard = &id
+		info.Cell = meta.cell[:]
+	}
+	return info
 }
 
 func (s *Server) handleListIndexes(w http.ResponseWriter, r *http.Request) {
@@ -334,7 +336,7 @@ func (s *Server) handleListIndexes(w http.ResponseWriter, r *http.Request) {
 	out := make([]indexInfo, 0, len(s.indexes))
 	for name, e := range s.indexes {
 		out = append(out, indexInfo{Name: name, Points: e.ix.Len(), Path: e.path, Backend: e.backend.String(),
-			InFlight: e.refs, Generation: e.gen, CachedResults: s.cache.countFor(name)})
+			InFlight: e.refs, Generation: e.gen, CachedResults: s.cache.countFor(name)}.withShard(e.shard))
 	}
 	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -362,10 +364,16 @@ func (s *Server) handleUnloadIndex(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"unloaded": name})
 }
 
-// loadRequest is the POST /indexes payload.
+// loadRequest is the POST /indexes payload: either one named index
+// ({"name", "path"}) or a shard-manifest subset ({"manifest", optional
+// "shards" ids and "base" URL prefix}), which registers the conventional
+// "s<id>.p"/"s<id>.q" names the router addresses.
 type loadRequest struct {
-	Name string `json:"name"`
-	Path string `json:"path"`
+	Name     string `json:"name"`
+	Path     string `json:"path"`
+	Manifest string `json:"manifest"`
+	Shards   []int  `json:"shards"`
+	Base     string `json:"base"`
 }
 
 func (s *Server) handleLoadIndex(w http.ResponseWriter, r *http.Request) {
@@ -373,6 +381,23 @@ func (s *Server) handleLoadIndex(w http.ResponseWriter, r *http.Request) {
 	var req loadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		errorJSON(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Manifest != "" {
+		if req.Name != "" || req.Path != "" {
+			errorJSON(w, http.StatusBadRequest, "manifest loads take no name/path")
+			return
+		}
+		loaded, err := s.LoadManifestShards(req.Manifest, req.Shards, req.Base)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrIndexExists) {
+				status = http.StatusConflict
+			}
+			errorJSON(w, status, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]any{"loaded": loaded})
 		return
 	}
 	if req.Name == "" || req.Path == "" {
@@ -491,6 +516,7 @@ func (s *Server) writePromMetrics(w http.ResponseWriter, snap sched.Snapshot, po
 		{"rcjd_sched_rejected_queue_timeout_total", "Requests that timed out queued.", "counter", snap.RejectedQueueTimeout},
 		{"rcjd_sched_rejected_draining_total", "Requests rejected during drain.", "counter", snap.RejectedDraining},
 		{"rcjd_sched_pairs_emitted_total", "Result pairs streamed to clients.", "counter", snap.PairsEmitted},
+		{"rcjd_sched_bound_killed_total", "Candidates killed pre-verification by a tightened TopK bound.", "counter", snap.BoundKilledCandidates},
 		{"rcjd_sched_batches_total", "Envelope traversals that served more than one request.", "counter", snap.SharedBatches},
 		{"rcjd_sched_batched_requests_total", "Requests served by shared envelope traversals.", "counter", snap.BatchedRequests},
 		{"rcjd_sched_buffer_accesses_total", "Tagged buffer accesses of served joins.", "counter", snap.BufferAccesses},
@@ -591,13 +617,16 @@ type pairLine struct {
 // NodesPruned shows how much traversal the request's predicates saved —
 // pushdown effectiveness, observable per query.
 type summaryLine struct {
-	Results      int64   `json:"results"`
-	Candidates   int64   `json:"candidates"`
-	NodeAccesses int64   `json:"node_accesses"`
-	PageFaults   int64   `json:"page_faults"`
-	NodesPruned  int64   `json:"nodes_pruned"`
-	BufferHit    float64 `json:"buffer_hit_ratio"`
-	ElapsedMS    int64   `json:"elapsed_ms"`
+	Results      int64 `json:"results"`
+	Candidates   int64 `json:"candidates"`
+	NodeAccesses int64 `json:"node_accesses"`
+	PageFaults   int64 `json:"page_faults"`
+	NodesPruned  int64 `json:"nodes_pruned"`
+	// BoundKilled is Stats.BoundKilledCandidates: candidates a TopK run's
+	// tightened diameter bound killed before verification.
+	BoundKilled int64   `json:"bound_killed_candidates"`
+	BufferHit   float64 `json:"buffer_hit_ratio"`
+	ElapsedMS   int64   `json:"elapsed_ms"`
 	// Cached marks a stream replayed from the result cache; the statistics
 	// above are the original run's.
 	Cached bool `json:"cached,omitempty"`
@@ -778,6 +807,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			NodeAccesses: st.NodeAccesses,
 			PageFaults:   st.PageFaults,
 			NodesPruned:  st.NodesPruned,
+			BoundKilled:  st.BoundKilledCandidates,
 			BufferHit:    st.BufferHitRatio(),
 			ElapsedMS:    time.Since(start).Milliseconds(),
 		}})
@@ -814,6 +844,7 @@ func (s *Server) writeCachedJoin(w http.ResponseWriter, res *cachedResult, csvFo
 			NodeAccesses: st.NodeAccesses,
 			PageFaults:   st.PageFaults,
 			NodesPruned:  st.NodesPruned,
+			BoundKilled:  st.BoundKilledCandidates,
 			BufferHit:    st.BufferHitRatio(),
 			Cached:       true,
 		}})

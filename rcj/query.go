@@ -245,10 +245,11 @@ func querySeq(ctx context.Context, q, p *Index, qry Query, self bool) iter.Seq2[
 func statsFrom(st core.Stats, rec *buffer.TagStats) Stats {
 	r := rec.Stats()
 	return Stats{
-		Candidates:   st.Candidates,
-		Results:      st.Results,
-		NodesPruned:  st.NodesPruned,
-		PageFaults:   r.Misses,
-		NodeAccesses: r.Accesses,
+		Candidates:            st.Candidates,
+		Results:               st.Results,
+		NodesPruned:           st.NodesPruned,
+		BoundKilledCandidates: st.BoundKilledCandidates,
+		PageFaults:            r.Misses,
+		NodeAccesses:          r.Accesses,
 	}
 }

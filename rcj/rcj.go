@@ -282,6 +282,11 @@ type Stats struct {
 	// without reading (0 for unconstrained joins) — how much work the
 	// pushdown saved versus computing the full join.
 	NodesPruned int64
+	// BoundKilledCandidates counts filtered candidates killed at the start
+	// of verification because a TopK run's dynamic diameter bound had
+	// tightened past them since they were filtered — verification work the
+	// branch-and-bound saved beyond filtering.
+	BoundKilledCandidates int64
 }
 
 // BufferHitRatio returns the fraction of this run's node accesses served
