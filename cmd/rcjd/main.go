@@ -25,6 +25,18 @@
 //	curl -s localhost:8080/metrics     # counters: in-flight, queued, rejected, ...
 //	curl -s localhost:8080/healthz     # 200 serving / 503 draining
 //
+//	# Live (mutable) indexes: open over a sealed base, or born empty.
+//	# Mutations apply in atomic batches; a background compactor seals
+//	# delta+base into .g<seq>.rcjx generations past -live-compact points.
+//	rcjd -addr :8080 -live-index places=places.rcjx -live-index scratch \
+//	     -live-compact 4096 -live-keep-generations 4
+//	curl -s localhost:8080/indexes/places/points \
+//	     -d '{"insert":[{"id":9001,"x":512.5,"y":1033.0}],"delete":[17]}'
+//
+//	# Continuous query: replay the current result set (add... sync), then
+//	# exact incremental changes as batches apply (NDJSON, long-lived):
+//	curl -sN localhost:8080/subscribe -d '{"p":"places","self":true}'
+//
 // Requests beyond -max-concurrent wait in a FIFO queue of depth -max-queue
 // (429 once full; 429 after -queue-timeout in queue); each admitted join is
 // capped by -join-timeout. SIGTERM/SIGINT drains gracefully: new joins get
@@ -76,6 +88,8 @@ func main() {
 		manifest      = flag.String("manifest", "", "shard manifest (.rcjm) to serve as a sharded-deployment worker")
 		shardIDs      = flag.String("shards", "", "comma-separated shard ids of -manifest to own (default: all populated shards)")
 		manifestBase  = flag.String("manifest-base", "", "URL or directory prefix overriding the manifest's relative shard paths (e.g. http://storage:9000/idx)")
+		liveCompact   = flag.Int("live-compact", 0, "compact a live index once its in-memory delta reaches this many points (0 = default 4096, negative = manual only)")
+		liveKeepGens  = flag.Int("live-keep-generations", 0, "on-disk sealed generations to keep per live index (0 = all)")
 	)
 	indexes := map[string]string{}
 	flag.Func("index", "saved index to serve, as name=path.rcjx or name=https://host/ix.rcjx (repeatable)", func(v string) error {
@@ -89,10 +103,25 @@ func main() {
 		indexes[name] = path
 		return nil
 	})
+	liveIndexes := map[string]string{}
+	flag.Func("live-index", "live (mutable) index to serve, as name=base.rcjx or just name for an index born empty (repeatable); accepts POST /indexes/{name}/points and /subscribe", func(v string) error {
+		name, path, _ := strings.Cut(v, "=")
+		if name == "" {
+			return fmt.Errorf("want name=base.rcjx or name, got %q", v)
+		}
+		if _, dup := indexes[name]; dup {
+			return fmt.Errorf("duplicate index name %q", name)
+		}
+		if _, dup := liveIndexes[name]; dup {
+			return fmt.Errorf("duplicate index name %q", name)
+		}
+		liveIndexes[name] = path
+		return nil
+	})
 	flag.Parse()
 
-	if len(indexes) == 0 && *manifest == "" {
-		fmt.Fprintln(os.Stderr, "rcjd: at least one -index name=path.rcjx (or a -manifest) is required")
+	if len(indexes) == 0 && len(liveIndexes) == 0 && *manifest == "" {
+		fmt.Fprintln(os.Stderr, "rcjd: at least one -index name=path.rcjx, -live-index, or -manifest is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -118,16 +147,19 @@ func main() {
 	defer stop()
 
 	err = server.RunDaemon(ctx, server.DaemonConfig{
-		Addr:           *addr,
-		Indexes:        indexes,
-		Manifest:       *manifest,
-		ManifestShards: shards,
-		ManifestBase:   *manifestBase,
-		Backend:        be,
-		BufferPages:    *bufPages,
-		BufferShards:   *bufShards,
-		NodeCachePages: *nodeCache,
-		PprofAddr:      *pprofAddr,
+		Addr:                *addr,
+		Indexes:             indexes,
+		LiveIndexes:         liveIndexes,
+		LiveCompactEvery:    *liveCompact,
+		LiveKeepGenerations: *liveKeepGens,
+		Manifest:            *manifest,
+		ManifestShards:      shards,
+		ManifestBase:        *manifestBase,
+		Backend:             be,
+		BufferPages:         *bufPages,
+		BufferShards:        *bufShards,
+		NodeCachePages:      *nodeCache,
+		PprofAddr:           *pprofAddr,
 		Sched: sched.Config{
 			MaxConcurrent: *maxConcurrent,
 			MaxQueue:      *maxQueue,

@@ -29,6 +29,10 @@
 //	# readahead:
 //	rcjjoin -p https://indexes.example.com/a.rcjx -q https://indexes.example.com/b.rcjx > out.csv
 //
+//	# Dump an index's points back out as ID-sorted "id,x,y" CSV (the
+//	# canonical rebuild input — re-indexing a dump reproduces the index):
+//	rcjjoin -p a.rcjx -dump-points > a.csv
+//
 // Each of -p and -q accepts a CSV pointset ("id,x,y" or "x,y" rows, ids
 // assigned in file order), a saved index file written by -save-index-*
 // (detected by its magic, conventionally named ".rcjx"), or an http(s) URL
@@ -59,6 +63,8 @@ import (
 
 	"path/filepath"
 
+	"repro/internal/geom"
+	"repro/internal/rtree"
 	"repro/internal/shard"
 	"repro/internal/workload"
 	"repro/rcj"
@@ -86,6 +92,7 @@ func main() {
 		region   = flag.String("region", "", "window the middleman location must fall in, as minX,minY,maxX,maxY (pushdown)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		dumpPts  = flag.Bool("dump-points", false, "instead of joining, write P's points as ID-sorted id,x,y CSV and exit (-q not needed)")
 		shardN   = flag.Int("save-shards", 0, "instead of joining, partition the inputs into this many spatial shards for a rcjd/rcjrouter deployment")
 		shardOut = flag.String("shards-out", "", "manifest path for -save-shards (.rcjm; shard .rcjx files are written next to it)")
 		shardD   = flag.Float64("shard-max-diameter", 0, "diameter bound baked into the -save-shards manifest (default: -max-diameter)")
@@ -123,8 +130,8 @@ func main() {
 		defer stopProfiles()
 	}
 
-	if *pPath == "" || (!*self && *qPath == "") {
-		fmt.Fprintln(os.Stderr, "rcjjoin: -p is required, and -q unless -self")
+	if *pPath == "" || (!*self && !*dumpPts && *qPath == "") {
+		fmt.Fprintln(os.Stderr, "rcjjoin: -p is required, and -q unless -self or -dump-points")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -177,6 +184,30 @@ func main() {
 	}
 	ixP := loadIndex(*pPath, *saveP)
 	defer ixP.Close()
+
+	if *dumpPts {
+		// Point dumping replaces the join: emit P's points as id,x,y rows in
+		// ascending ID order — the canonical input order, so rebuilding an
+		// index from the dump reproduces it byte-for-byte.
+		pts, err := ixP.Points()
+		if err != nil {
+			fatalf("read points of %s: %v", *pPath, err)
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].ID < pts[j].ID })
+		entries := make([]rtree.PointEntry, len(pts))
+		for i, p := range pts {
+			entries[i] = rtree.PointEntry{P: geom.Point{X: p.X, Y: p.Y}, ID: p.ID}
+		}
+		out := bufio.NewWriter(os.Stdout)
+		if err := workload.WritePoints(out, entries); err != nil {
+			fatalf("dump points: %v", err)
+		}
+		if err := out.Flush(); err != nil {
+			fatalf("dump points: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "rcjjoin: dumped %d points from %s\n", len(entries), *pPath)
+		return
+	}
 
 	if *shardN > 0 {
 		// Shard emission replaces the join: partition the inputs, write the

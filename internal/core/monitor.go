@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -9,6 +10,13 @@ import (
 	"repro/internal/rtree"
 	"repro/internal/storage"
 )
+
+// ErrMonitorDelete is returned by Monitor.Delete: deletion maintenance is
+// unsupported by design, not by omission. Removing a point can revive pairs
+// between arbitrarily distant points (RCJ pairs obey no distance bound, the
+// paper's Figure 1), so no local search bounds the affected set; callers
+// must rebuild with NewMonitor over the surviving points instead.
+var ErrMonitorDelete = errors.New("core: monitor does not support deletion; rebuild with NewMonitor")
 
 // Monitor maintains a ring-constrained join result incrementally under
 // point insertions — the facility-planning setting where new restaurants
@@ -122,6 +130,12 @@ func (m *Monitor) AddQ(q geom.Point, id int64) (added, removed []Pair, err error
 	}
 	return m.add(q, id, false)
 }
+
+// Delete always fails with ErrMonitorDelete. It exists so the no-deletion
+// constraint is a typed, testable contract rather than a missing method:
+// callers that need deletions (the live-index subscription path) catch this
+// error and re-seed a fresh monitor from the surviving point set.
+func (m *Monitor) Delete(geom.Point, int64) error { return ErrMonitorDelete }
 
 func (m *Monitor) add(pt geom.Point, id int64, intoP bool) (added, removed []Pair, err error) {
 	// 1. Kill existing pairs whose circle covers the new point.

@@ -101,6 +101,12 @@ type Snapshot struct {
 
 	PairsEmitted int64 `json:"pairs_emitted"`
 
+	// Subscriptions is the number of live continuous-query streams
+	// registered via Subscribe (a gauge); Started/Ended are cumulative.
+	Subscriptions        int   `json:"subscriptions"`
+	SubscriptionsStarted int64 `json:"subscriptions_started"`
+	SubscriptionsEnded   int64 `json:"subscriptions_ended"`
+
 	// BoundKilledCandidates sums rcj.Stats.BoundKilledCandidates over served
 	// joins: candidates a TopK run's tightened diameter bound killed before
 	// verification — branch-and-bound work the serving tier saved.
@@ -149,9 +155,10 @@ type Scheduler struct {
 	running  int
 	queue    *list.List // of *waiter, front = next to be granted
 	draining bool
-	drained  chan struct{}       // closed when draining and the last slot frees
-	closed   bool                // drained has been closed
-	batches  map[batchKey]*batch // open (unsealed) batches, guarded by mu
+	drained  chan struct{}          // closed when draining and the last admitted work ends
+	closed   bool                   // drained has been closed
+	batches  map[batchKey]*batch    // open (unsealed) batches, guarded by mu
+	subs     map[*subEntry]struct{} // live subscriptions (see Subscribe), guarded by mu
 
 	admitted             atomic.Int64
 	completed            atomic.Int64
@@ -166,6 +173,8 @@ type Scheduler struct {
 	bufAccesses          atomic.Int64
 	bufHits              atomic.Int64
 	bufMisses            atomic.Int64
+	subsStarted          atomic.Int64
+	subsEnded            atomic.Int64
 
 	queueWait   histogram
 	joinLatency histogram
@@ -179,6 +188,7 @@ func New(eng *rcj.Engine, cfg Config) *Scheduler {
 		queue:   list.New(),
 		drained: make(chan struct{}),
 		batches: make(map[batchKey]*batch),
+		subs:    make(map[*subEntry]struct{}),
 	}
 }
 
@@ -287,23 +297,32 @@ func (s *Scheduler) release() {
 		return
 	}
 	s.running--
-	if s.draining && s.running == 0 && !s.closed {
-		s.closed = true
-		close(s.drained)
-	}
+	s.maybeDrainedLocked()
 	s.mu.Unlock()
 }
 
-// BeginDrain stops admitting new requests (they fail with ErrDraining).
-// Running and already-queued joins proceed to completion. Safe to call more
-// than once.
-func (s *Scheduler) BeginDrain() {
-	s.mu.Lock()
-	s.draining = true
-	if s.running == 0 && s.queue.Len() == 0 && !s.closed {
+// maybeDrainedLocked closes drained once a draining scheduler has no
+// admitted work left — no running joins, no queued waiters, and no live
+// subscriptions. Callers hold s.mu.
+func (s *Scheduler) maybeDrainedLocked() {
+	if s.draining && s.running == 0 && s.queue.Len() == 0 && len(s.subs) == 0 && !s.closed {
 		s.closed = true
 		close(s.drained)
 	}
+}
+
+// BeginDrain stops admitting new requests (they fail with ErrDraining).
+// Running and already-queued joins proceed to completion; live
+// subscriptions have their contexts cancelled — a subscription is unbounded
+// work, so a drain ends it rather than waiting for it — and the drain
+// completes once each has unregistered. Safe to call more than once.
+func (s *Scheduler) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	for e := range s.subs {
+		e.cancel()
+	}
+	s.maybeDrainedLocked()
 	s.mu.Unlock()
 }
 
@@ -452,6 +471,7 @@ func (s *Scheduler) Snapshot() Snapshot {
 	for _, b := range s.batches {
 		snap.OpenBatchMembers += len(b.members)
 	}
+	snap.Subscriptions = len(s.subs)
 	s.mu.Unlock()
 	snap.Admitted = s.admitted.Load()
 	snap.Completed = s.completed.Load()
@@ -460,6 +480,8 @@ func (s *Scheduler) Snapshot() Snapshot {
 	snap.RejectedQueueTimeout = s.rejectedQueueTimeout.Load()
 	snap.RejectedDraining = s.rejectedDraining.Load()
 	snap.PairsEmitted = s.pairsEmitted.Load()
+	snap.SubscriptionsStarted = s.subsStarted.Load()
+	snap.SubscriptionsEnded = s.subsEnded.Load()
 	snap.BoundKilledCandidates = s.boundKilled.Load()
 	snap.SharedBatches = s.batchesRun.Load()
 	snap.BatchedRequests = s.batchedReqs.Load()

@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"context"
+	"sync"
+)
+
+// subEntry is one registered long-lived subscription; only its cancel hook
+// lives here — the stream itself belongs to the caller.
+type subEntry struct {
+	cancel context.CancelFunc
+}
+
+// Subscribe registers a long-lived continuous-query stream with the
+// scheduler. Subscriptions are not joins — they hold no join slot, since one
+// stream can outlive thousands of point lookups — but they are admitted
+// work the drain must account for: BeginDrain cancels the returned context
+// (ending the stream), and Drain waits until every subscription has called
+// its unregister function. The returned unregister is idempotent and must
+// be called when the stream ends for any reason. A draining scheduler
+// rejects new subscriptions with ErrDraining.
+func (s *Scheduler) Subscribe(ctx context.Context) (context.Context, func(), error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rejectedDraining.Add(1)
+		return nil, nil, ErrDraining
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	e := &subEntry{cancel: cancel}
+	s.subs[e] = struct{}{}
+	s.mu.Unlock()
+	s.subsStarted.Add(1)
+
+	var once sync.Once
+	unregister := func() {
+		once.Do(func() {
+			cancel()
+			s.subsEnded.Add(1)
+			s.mu.Lock()
+			delete(s.subs, e)
+			s.maybeDrainedLocked()
+			s.mu.Unlock()
+		})
+	}
+	return sctx, unregister, nil
+}

@@ -2,7 +2,6 @@ package server
 
 import (
 	"container/list"
-	"strconv"
 	"strings"
 	"sync"
 
@@ -67,17 +66,19 @@ func newResultCache(maxEntries, maxPairs int) *resultCache {
 }
 
 // cacheKey builds the lookup key: each index name pinned to the generation
-// of its current registration, the join shape, and the query's canonical
-// result-shaping form. For self-joins q repeats p.
-func cacheKey(pName string, pGen uint64, qName string, qGen uint64, self bool, qry rcj.Query) string {
+// key of its current registration (registration generation, with the live
+// epoch sequence folded in for mutable indexes — see indexEntry.genKey), the
+// join shape, and the query's canonical result-shaping form. For self-joins
+// q repeats p.
+func cacheKey(pName, pGen, qName, qGen string, self bool, qry rcj.Query) string {
 	var b strings.Builder
 	b.WriteString(pName)
 	b.WriteByte('#')
-	b.WriteString(strconv.FormatUint(pGen, 10))
+	b.WriteString(pGen)
 	b.WriteByte('|')
 	b.WriteString(qName)
 	b.WriteByte('#')
-	b.WriteString(strconv.FormatUint(qGen, 10))
+	b.WriteString(qGen)
 	if self {
 		b.WriteString("|self|")
 	} else {

@@ -23,6 +23,17 @@ type DaemonConfig struct {
 	// Indexes maps registry names to saved .rcjx paths, all loaded before
 	// the listener accepts traffic.
 	Indexes map[string]string
+	// LiveIndexes maps registry names to saved .rcjx paths loaded as live
+	// (mutable) indexes — the path is the sealed base, or empty to start the
+	// index with no points. POST /indexes/{name}/points applies updates and
+	// POST /subscribe streams continuous-query results over them.
+	LiveIndexes map[string]string
+	// LiveCompactEvery triggers background compaction of live indexes once a
+	// delta reaches it (0 = live.DefaultCompactEvery, negative disables);
+	// LiveKeepGenerations > 0 prunes all but that many sealed generation
+	// files after each compaction.
+	LiveCompactEvery    int
+	LiveKeepGenerations int
 	// Manifest, when non-empty, is a shard-manifest path (.rcjm); the
 	// worker loads ManifestShards of it (nil = every populated shard) as
 	// "s<id>.p"/"s<id>.q" before the listener accepts traffic.
@@ -116,6 +127,23 @@ func RunDaemon(ctx context.Context, cfg DaemonConfig, ready func(addr string)) e
 		}
 		e, _ := srv.lookup(name)
 		logf("rcjd: loaded index %s (%d points, %s backend) from %s", name, e.ix.Len(), cfg.Backend, path)
+	}
+	liveNames := make([]string, 0, len(cfg.LiveIndexes))
+	for name := range cfg.LiveIndexes {
+		liveNames = append(liveNames, name)
+	}
+	sort.Strings(liveNames)
+	for _, name := range liveNames {
+		path := cfg.LiveIndexes[name]
+		if err := srv.LoadMutableIndex(name, path, cfg.LiveCompactEvery, cfg.LiveKeepGenerations); err != nil {
+			return fmt.Errorf("load live index %s=%s: %w", name, path, err)
+		}
+		e, _ := srv.lookup(name)
+		src := path
+		if src == "" {
+			src = "(empty)"
+		}
+		logf("rcjd: loaded live index %s (%d points, mutable) from %s", name, e.ix.Len(), src)
 	}
 	if cfg.Manifest != "" {
 		loaded, err := srv.LoadManifestShards(cfg.Manifest, cfg.ManifestShards, cfg.ManifestBase)

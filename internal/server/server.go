@@ -83,11 +83,12 @@ type Server struct {
 	mu      sync.RWMutex
 	indexes map[string]*indexEntry
 	nextGen uint64 // generation source for loaded indexes (guarded by mu)
-	// Retired remote/prefetch totals of unloaded indexes: /metrics counters
-	// must stay monotone across unload/reload cycles, so a closed index's
-	// final counts fold in here rather than vanishing from the sums.
+	// Retired remote/prefetch/live totals of unloaded indexes: /metrics
+	// counters must stay monotone across unload/reload cycles, so a closed
+	// index's final counts fold in here rather than vanishing from the sums.
 	retiredRemote   rcj.RemoteStats
 	retiredPrefetch rcj.PrefetchStats
+	retiredLive     liveCounters
 
 	requests atomic64map
 }
@@ -103,7 +104,20 @@ type indexEntry struct {
 	backend rcj.Backend
 	refs    int
 	gen     uint64
+	subs    int        // open subscriptions depending on this index (guarded by Server.mu)
 	shard   *shardMeta // non-nil for manifest-loaded shard indexes
+}
+
+// genKey is the entry's result-cache generation: the registration generation
+// alone for immutable indexes, with the live epoch sequence folded in for
+// mutable ones — every applied mutation batch and every compaction bumps the
+// epoch, so no cached result survives a change to the underlying point set.
+func (e *indexEntry) genKey() string {
+	g := strconv.FormatUint(e.gen, 10)
+	if e.ix.Mutable() {
+		g += "." + strconv.FormatUint(e.ix.Epoch(), 10)
+	}
+	return g
 }
 
 // atomic64map is a tiny fixed-key counter set for per-endpoint request
@@ -215,6 +229,12 @@ func (s *Server) UnloadIndex(name string) error {
 	// as a Prometheus counter reset.
 	rs0, ps0 := indexStats(e.ix)
 	s.addRetired(rs0, ps0)
+	// Live counters fold here too (monotone across unload/reload); a final
+	// background compaction racing the close may go uncounted, which keeps
+	// the totals monotone, just not perfectly exhaustive.
+	if lst, ok := e.ix.LiveStats(); ok {
+		s.retiredLive.add(lst)
+	}
 	delete(s.indexes, name)
 	s.mu.Unlock()
 	// Purge memoized results depending on the unloaded index. Stores only
@@ -255,6 +275,9 @@ func (s *Server) Close() error {
 	for name, e := range s.indexes {
 		rs, ps := indexStats(e.ix)
 		s.addRetired(rs, ps)
+		if lst, ok := e.ix.LiveStats(); ok {
+			s.retiredLive.add(lst)
+		}
 		entries = append(entries, e)
 		delete(s.indexes, name)
 	}
@@ -272,8 +295,10 @@ func (s *Server) Close() error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /join", s.handleJoin)
+	mux.HandleFunc("POST /subscribe", s.handleSubscribe)
 	mux.HandleFunc("GET /indexes", s.handleListIndexes)
 	mux.HandleFunc("POST /indexes", s.handleLoadIndex)
+	mux.HandleFunc("POST /indexes/{name}/points", s.handleMutate)
 	mux.HandleFunc("DELETE /indexes/{name}", s.handleUnloadIndex)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -312,6 +337,10 @@ type indexInfo struct {
 	InFlight      int    `json:"in_flight"`
 	Generation    uint64 `json:"generation"`
 	CachedResults int    `json:"cached_results"`
+	// Mutable marks a live index; Live carries its epoch state (delta size,
+	// tombstones, compactions, open subscriptions).
+	Mutable bool      `json:"mutable,omitempty"`
+	Live    *liveInfo `json:"live,omitempty"`
 	// Shard identity for manifest-loaded indexes: the owned cell rectangle
 	// ([minX, minY, maxX, maxY]) this worker advertises to the router.
 	Manifest string    `json:"manifest,omitempty"`
@@ -335,8 +364,25 @@ func (s *Server) handleListIndexes(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	out := make([]indexInfo, 0, len(s.indexes))
 	for name, e := range s.indexes {
-		out = append(out, indexInfo{Name: name, Points: e.ix.Len(), Path: e.path, Backend: e.backend.String(),
-			InFlight: e.refs, Generation: e.gen, CachedResults: s.cache.countFor(name)}.withShard(e.shard))
+		info := indexInfo{Name: name, Points: e.ix.Len(), Path: e.path, Backend: e.backend.String(),
+			InFlight: e.refs, Generation: e.gen, CachedResults: s.cache.countFor(name)}.withShard(e.shard)
+		if st, ok := e.ix.LiveStats(); ok {
+			info.Mutable = true
+			info.Live = &liveInfo{
+				Epoch:            st.Seq,
+				BasePoints:       st.BasePoints,
+				DeltaPoints:      st.DeltaPoints,
+				Tombstones:       st.Tombstones,
+				Generation:       st.Generation,
+				GenerationPoints: st.GenerationPoints,
+				Inserts:          st.Inserts,
+				Deletes:          st.Deletes,
+				Compactions:      st.Compactions,
+				CompactSeconds:   st.CompactSeconds,
+				Subscribers:      e.subs,
+			}
+		}
+		out = append(out, info)
 	}
 	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -367,13 +413,19 @@ func (s *Server) handleUnloadIndex(w http.ResponseWriter, r *http.Request) {
 // loadRequest is the POST /indexes payload: either one named index
 // ({"name", "path"}) or a shard-manifest subset ({"manifest", optional
 // "shards" ids and "base" URL prefix}), which registers the conventional
-// "s<id>.p"/"s<id>.q" names the router addresses.
+// "s<id>.p"/"s<id>.q" names the router addresses. With "mutable": true the
+// index loads live — path is the sealed base (or empty for an index born
+// empty) and POST /indexes/{name}/points applies updates.
 type loadRequest struct {
 	Name     string `json:"name"`
 	Path     string `json:"path"`
 	Manifest string `json:"manifest"`
 	Shards   []int  `json:"shards"`
 	Base     string `json:"base"`
+
+	Mutable         bool `json:"mutable"`
+	CompactEvery    int  `json:"compact_every"`
+	KeepGenerations int  `json:"keep_generations"`
 }
 
 func (s *Server) handleLoadIndex(w http.ResponseWriter, r *http.Request) {
@@ -400,11 +452,17 @@ func (s *Server) handleLoadIndex(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusCreated, map[string]any{"loaded": loaded})
 		return
 	}
-	if req.Name == "" || req.Path == "" {
+	if req.Name == "" || (req.Path == "" && !req.Mutable) {
 		errorJSON(w, http.StatusBadRequest, "name and path are required")
 		return
 	}
-	if err := s.LoadIndex(req.Name, req.Path); err != nil {
+	var err error
+	if req.Mutable {
+		err = s.LoadMutableIndex(req.Name, req.Path, req.CompactEvery, req.KeepGenerations)
+	} else {
+		err = s.LoadIndex(req.Name, req.Path)
+	}
+	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, ErrIndexExists) {
 			status = http.StatusConflict
@@ -413,7 +471,8 @@ func (s *Server) handleLoadIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e, _ := s.lookup(req.Name)
-	writeJSON(w, http.StatusCreated, indexInfo{Name: req.Name, Points: e.ix.Len(), Path: req.Path, Backend: e.backend.String(), Generation: e.gen})
+	writeJSON(w, http.StatusCreated, indexInfo{Name: req.Name, Points: e.ix.Len(), Path: req.Path,
+		Backend: e.backend.String(), Generation: e.gen, Mutable: e.ix.Mutable()})
 }
 
 // remoteTotals sums the remote-transfer and readahead counters over every
@@ -443,11 +502,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.sched.Snapshot()
 	pool := s.sched.Engine().BufferStats()
 	remote, prefetch, remoteIndexes := s.remoteTotals()
+	lc := s.liveTotals()
 	// Prometheus text exposition on request (?format=prom or an Accept
 	// header asking for text/plain); the JSON form stays the default.
 	if r.URL.Query().Get("format") == "prom" ||
 		(r.URL.Query().Get("format") == "" && strings.Contains(r.Header.Get("Accept"), "text/plain")) {
-		s.writePromMetrics(w, snap, pool, remote, prefetch, remoteIndexes, s.cache.snapshot())
+		s.writePromMetrics(w, snap, pool, remote, prefetch, remoteIndexes, s.cache.snapshot(), lc)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -481,6 +541,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"prefetch_already_cached": prefetch.AlreadyCached,
 			"prefetch_failed":         prefetch.Failed,
 		},
+		"live":         liveMetricsJSON(lc, snap),
 		"result_cache": s.cache.snapshot(),
 		"requests":     s.requests.snapshot(),
 	})
@@ -491,7 +552,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // counters for everything cumulative, per-endpoint request totals as one
 // labeled family.
 func (s *Server) writePromMetrics(w http.ResponseWriter, snap sched.Snapshot, pool buffer.Stats,
-	remote rcj.RemoteStats, prefetch rcj.PrefetchStats, remoteIndexes int, cache cacheStats) {
+	remote rcj.RemoteStats, prefetch rcj.PrefetchStats, remoteIndexes int, cache cacheStats, lc liveCounters) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	nodeCacheHits, nodeCacheMisses := s.sched.Engine().NodeCacheStats()
@@ -551,6 +612,7 @@ func (s *Server) writePromMetrics(w http.ResponseWriter, snap sched.Snapshot, po
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.value)
 	}
+	s.writeLivePromMetrics(w, lc, snap)
 	writePromHistogram(w, "rcjd_sched_queue_wait_seconds", "Admission wait of admitted requests.", snap.QueueWait)
 	writePromHistogram(w, "rcjd_sched_join_latency_seconds", "Execution time of terminated joins (queue wait excluded).", snap.JoinLatency)
 	reqs := s.requests.snapshot()
@@ -716,9 +778,10 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	cacheOK := s.cache.cacheable(qry) && !s.sched.Draining()
 	if cacheOK {
 		if req.Self {
-			ckey = cacheKey(req.P, ixP.gen, req.P, ixP.gen, true, qry)
+			g := ixP.genKey()
+			ckey = cacheKey(req.P, g, req.P, g, true, qry)
 		} else {
-			ckey = cacheKey(req.P, ixP.gen, req.Q, ixQ.gen, false, qry)
+			ckey = cacheKey(req.P, ixP.genKey(), req.Q, ixQ.genKey(), false, qry)
 		}
 		if res, ok := s.cache.get(ckey); ok {
 			s.writeCachedJoin(w, res, csvFormat)

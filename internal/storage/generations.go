@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Generation naming for live (mutable) indexes: each compaction seals the
+// current point set into a fresh immutable index file next to the original,
+// named by inserting ".g<seq>" before the extension —
+//
+//	points.rcjx  →  points.g000007.rcjx   (generation sealed at epoch 7)
+//
+// so generations of one index sort lexically in epoch order, a directory
+// listing shows the lineage at a glance, and pruning old generations is a
+// prefix glob. The original path itself is generation zero and is never
+// rewritten in place: readers holding the old generation keep a consistent
+// file under their feet until the epoch's last reference drains.
+
+// genWidth is the zero-padded width of the generation number in filenames;
+// wide enough that lexical order equals numeric order for any realistic
+// compaction count.
+const genWidth = 6
+
+// GenerationPath returns the filename of generation seq of the index at
+// path: ".g<seq>" is inserted before the extension (appended when path has
+// none).
+func GenerationPath(path string, seq uint64) string {
+	ext := filepath.Ext(path)
+	stem := strings.TrimSuffix(path, ext)
+	return fmt.Sprintf("%s.g%0*d%s", stem, genWidth, seq, ext)
+}
+
+// generationSeq reports the generation number a sibling filename encodes for
+// the index at path, matching the GenerationPath layout.
+func generationSeq(path, name string) (uint64, bool) {
+	ext := filepath.Ext(path)
+	base := filepath.Base(path)
+	stem := strings.TrimSuffix(base, ext)
+	rest, ok := strings.CutPrefix(name, stem+".g")
+	if !ok {
+		return 0, false
+	}
+	num, ok := strings.CutSuffix(rest, ext)
+	if !ok || len(num) < genWidth {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// ListGenerations returns the on-disk generation files of the index at path
+// in ascending epoch order (the original path itself is not included).
+func ListGenerations(path string) ([]string, error) {
+	dir := filepath.Dir(path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type gen struct {
+		seq  uint64
+		name string
+	}
+	var gens []gen
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := generationSeq(path, e.Name()); ok {
+			gens = append(gens, gen{seq: seq, name: e.Name()})
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].seq < gens[j].seq })
+	out := make([]string, len(gens))
+	for i, g := range gens {
+		out[i] = filepath.Join(dir, g.name)
+	}
+	return out, nil
+}
+
+// PruneGenerations deletes all but the newest keep generation files of the
+// index at path, returning the paths removed. keep <= 0 keeps only the
+// newest. Files that vanish concurrently are not an error.
+func PruneGenerations(path string, keep int) ([]string, error) {
+	if keep <= 0 {
+		keep = 1
+	}
+	gens, err := ListGenerations(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(gens) <= keep {
+		return nil, nil
+	}
+	doomed := gens[:len(gens)-keep]
+	var removed []string
+	for _, p := range doomed {
+		if err := os.Remove(p); err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return removed, err
+		}
+		removed = append(removed, p)
+	}
+	return removed, nil
+}

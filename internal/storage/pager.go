@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultPageSize is the page size used throughout the paper's evaluation
@@ -81,7 +82,10 @@ type MemPager struct {
 	mu       sync.RWMutex
 	pageSize int
 	pages    [][]byte
-	stats    Stats
+	// I/O counters are atomics: ReadPage holds only the read lock, so any
+	// number of concurrent readers may bump Reads at once.
+	reads  atomic.Int64
+	writes atomic.Int64
 }
 
 // NewMemPager returns an empty in-memory pager with the given page size
@@ -125,7 +129,7 @@ func (m *MemPager) ReadPage(id PageID, buf []byte) error {
 		return fmt.Errorf("storage: read buffer %d smaller than page size %d", len(buf), m.pageSize)
 	}
 	copy(buf, m.pages[id])
-	m.stats.Reads++
+	m.reads.Add(1)
 	return nil
 }
 
@@ -143,15 +147,13 @@ func (m *MemPager) WritePage(id PageID, buf []byte) error {
 	for i := len(buf); i < m.pageSize; i++ {
 		m.pages[id][i] = 0
 	}
-	m.stats.Writes++
+	m.writes.Add(1)
 	return nil
 }
 
 // Stats returns cumulative physical I/O counters.
 func (m *MemPager) Stats() Stats {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.stats
+	return Stats{Reads: m.reads.Load(), Writes: m.writes.Load()}
 }
 
 // Close releases the page storage.

@@ -133,12 +133,15 @@ func batchSeq(ctx context.Context, q, p *Index, qry Query, self bool) iter.Seq2[
 			}
 			emit(out)
 		}
+		// One shared traversal pins ONE snapshot for every batch member —
+		// each member was admitted before this point, so the snapshot is
+		// current within every member's request window.
 		var rec buffer.TagStats
-		tq := q.tree.Tagged(&rec)
-		tp := tq
-		if p.tree != q.tree {
-			tp = p.tree.Tagged(&rec)
+		tq, tp, release, err := joinViews(q, p, &rec, &coreOpts)
+		if err != nil {
+			return err
 		}
+		defer release()
 		_, st, err := core.JoinContext(runCtx, tq, tp, coreOpts)
 		if qry.Stats != nil {
 			*qry.Stats = statsFrom(st, &rec)

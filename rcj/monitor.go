@@ -5,6 +5,13 @@ import (
 	"repro/internal/geom"
 )
 
+// ErrMonitorDelete is returned by Monitor.Delete: deletion maintenance is
+// unsupported by design (a removal can revive pairs between arbitrarily
+// distant points, so no local search bounds the affected set). Rebuild the
+// monitor over the surviving points instead; live-index subscriptions do
+// exactly that and emit a resync event.
+var ErrMonitorDelete = core.ErrMonitorDelete
+
 // Monitor maintains a ring-constrained join incrementally as new points
 // arrive — the planning workflow where facilities open over time and the
 // set of fair middleman locations must stay current without recomputing
@@ -67,6 +74,12 @@ func (mo *Monitor) AddP(p Point) (added, removed []Pair, err error) {
 func (mo *Monitor) AddQ(q Point) (added, removed []Pair, err error) {
 	a, r, err := mo.m.AddQ(geom.Point{X: q.X, Y: q.Y}, q.ID)
 	return convertPairs(a), convertPairs(r), err
+}
+
+// Delete always fails with ErrMonitorDelete; it makes the no-deletion
+// contract typed and testable instead of a silently missing method.
+func (mo *Monitor) Delete(p Point) error {
+	return mo.m.Delete(geom.Point{X: p.X, Y: p.Y}, p.ID)
 }
 
 func convertPairs(raw []core.Pair) []Pair {

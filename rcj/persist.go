@@ -76,6 +76,9 @@ func (ix *Index) Save(path string) error { return ix.save(path, 0) }
 func (ix *Index) SavePacked(path string) error { return ix.save(path, storage.FormatVersion3) }
 
 func (ix *Index) save(path string, version int) error {
+	if ix.live != nil {
+		return fmt.Errorf("rcj: save is not supported on mutable indexes; compaction persists generations (see MutableConfig.GenerationBase)")
+	}
 	meta := ix.tree.Meta()
 	mbr, err := ix.tree.RootMBR()
 	if err != nil {

@@ -183,16 +183,12 @@ func runQuery(ctx context.Context, q, p *Index, qry Query, self bool, onPair fun
 	if onPair != nil {
 		coreOpts.OnPair = func(cp core.Pair) { onPair(fromCorePair(cp)) }
 	}
-	// Read both trees through one tagged view so every buffer access of this
-	// run — and only this run — lands in rec, exact under concurrency. Joins
-	// over one tree must see one view: core compares tree identity as a
-	// self-join safety net.
 	var rec buffer.TagStats
-	tq := q.tree.Tagged(&rec)
-	tp := tq
-	if p.tree != q.tree {
-		tp = p.tree.Tagged(&rec)
+	tq, tp, release, err := joinViews(q, p, &rec, &coreOpts)
+	if err != nil {
+		return nil, Stats{}, err
 	}
+	defer release()
 	pairs, st, err := core.JoinContext(ctx, tq, tp, coreOpts)
 	if err != nil {
 		return nil, Stats{}, err
@@ -227,17 +223,68 @@ func querySeq(ctx context.Context, q, p *Index, qry Query, self bool) iter.Seq2[
 		coreOpts := qry.coreOptions(self)
 		coreOpts.OnPair = func(cp core.Pair) { emit(fromCorePair(cp)) }
 		var rec buffer.TagStats
-		tq := q.tree.Tagged(&rec)
-		tp := tq
-		if p.tree != q.tree {
-			tp = p.tree.Tagged(&rec)
+		tq, tp, release, err := joinViews(q, p, &rec, &coreOpts)
+		if err != nil {
+			return err
 		}
+		defer release()
 		_, st, err := core.JoinContext(runCtx, tq, tp, coreOpts)
 		if qry.Stats != nil {
 			*qry.Stats = statsFrom(st, &rec)
 		}
 		return err
 	})
+}
+
+// joinViews resolves the executor inputs for one traversal: tagged views of
+// the two indexes' trees, so every buffer access of this run — and only
+// this run — lands in rec, exact under concurrency. Joins over one index
+// must see ONE view instance: core compares view identity as the self-join
+// safety net.
+//
+// For a mutable index the view is its pinned epoch's merged base+delta
+// read view — the snapshot-isolation point: the pin happens here, at
+// traversal start, and release fires when the traversal completes, so
+// concurrent mutations and compactions never touch a running query. A
+// snapshot with tombstones additionally disables the verification face
+// rule, the one traversal rule unsound over possibly-empty masked subtrees
+// (every other pruning bound is conservative under inflated MBRs).
+func joinViews(q, p *Index, rec *buffer.TagStats, coreOpts *core.Options) (tq, tp core.SpatialIndex, release func(), err error) {
+	release = func() {}
+	view := func(ix *Index) (core.SpatialIndex, error) {
+		if ix.live == nil {
+			return ix.tree.Tagged(rec), nil
+		}
+		snap, err := ix.live.Acquire()
+		if err != nil {
+			return nil, err
+		}
+		v, err := snap.View(rec)
+		if err != nil {
+			snap.Release()
+			return nil, err
+		}
+		if snap.DisableFaceRule() {
+			coreOpts.DisableFaceRule = true
+		}
+		prev := release
+		release = func() { snap.Release(); prev() }
+		return v, nil
+	}
+	tq, err = view(q)
+	if err != nil {
+		release()
+		return nil, nil, nil, err
+	}
+	tp = tq
+	if p != q && (p.live != nil || q.live != nil || p.tree != q.tree) {
+		tp, err = view(p)
+		if err != nil {
+			release()
+			return nil, nil, nil, err
+		}
+	}
+	return tq, tp, release, nil
 }
 
 // statsFrom merges executor statistics with the run's tagged buffer

@@ -35,6 +35,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/live"
 	"repro/internal/rtree"
 	"repro/internal/storage"
 )
@@ -125,6 +126,12 @@ type Index struct {
 
 	nodeCache  *rtree.NodeCache // engine's decoded-node cache; nil = off
 	cacheOwner uint64           // this index's generation in nodeCache
+
+	// live, when non-nil, makes this a mutable index: reads go through the
+	// epoch layer's merged base+delta view instead of tree, and
+	// Insert/Delete/Compact apply (see mutable.go). The immutable fields
+	// above are unused (the live index owns its sealed bases).
+	live *live.Index
 }
 
 // ErrNoPoints is returned when building an index from an empty slice.
@@ -190,11 +197,27 @@ func buildIndex(points []Point, cfg IndexConfig, pool *buffer.Pool, owner uint32
 	return &Index{tree: tree, pager: pager, pool: pool, pts: len(points), owner: owner, shared: shared}, nil
 }
 
-// Len returns the number of indexed points.
-func (ix *Index) Len() int { return ix.pts }
+// Len returns the number of indexed points (the current live count for a
+// mutable index).
+func (ix *Index) Len() int {
+	if ix.live != nil {
+		return ix.live.Len()
+	}
+	return ix.pts
+}
 
-// Points returns all indexed points (in index leaf order).
+// Points returns all indexed points (in index leaf order; a mutable index
+// returns its current point set in ascending ID order, the canonical order
+// compaction seals).
 func (ix *Index) Points() ([]Point, error) {
+	if ix.live != nil {
+		entries := ix.live.PointsSorted()
+		out := make([]Point, len(entries))
+		for i, e := range entries {
+			out[i] = Point{X: e.P.X, Y: e.P.Y, ID: e.ID}
+		}
+		return out, nil
+	}
 	entries, err := ix.tree.ScanAll()
 	if err != nil {
 		return nil, err
@@ -208,6 +231,9 @@ func (ix *Index) Points() ([]Point, error) {
 
 // NearestNeighbor returns the indexed point closest to (x, y).
 func (ix *Index) NearestNeighbor(x, y float64) (Point, error) {
+	if ix.live != nil {
+		return Point{}, errors.New("rcj: NearestNeighbor is not supported on mutable indexes")
+	}
 	e, err := ix.tree.NearestNeighbor(geom.Point{X: x, Y: y})
 	if err != nil {
 		return Point{}, err
@@ -244,6 +270,12 @@ func (ix *Index) PrefetchStats() (PrefetchStats, bool) {
 // Close returns promptly even when the origin has hung instead of waiting
 // out a retry budget per queued readahead.
 func (ix *Index) Close() error {
+	if ix.live != nil {
+		// The epoch layer closes subscription feeds, waits out any background
+		// compaction, and retires the current base — which releases the
+		// sealed index's resources once the last in-flight query drains.
+		return ix.live.Close()
+	}
 	var err error
 	if ix.remote != nil {
 		err = ix.remote.Close()
