@@ -77,7 +77,8 @@ func main() {
 		self     = flag.Bool("self", false, "compute the self-join of P")
 		metric   = flag.String("metric", "l2", "distance metric: l2 (Euclidean) or l1 (Manhattan)")
 		sorted   = flag.Bool("sort", false, "sort output by ascending ring diameter (buffers all pairs)")
-		algStr   = flag.String("alg", "obj", "algorithm: inj, bij, obj")
+		algStr   = flag.String("alg", "", "algorithm: auto, inj, bij, obj, brute (default: auto — the cost-based planner decides; or obj under -plan=fixed)")
+		planMode = flag.String("plan", "auto", `plan resolution when -alg names no algorithm: "auto" lets the cost-based planner pick, "fixed" pins the classic obj`)
 		parallel = flag.Int("parallel", 1, "worker goroutines for the join")
 		bufPages = flag.Int("buffer", 0, "shared buffer pool size in pages (0 = unbounded)")
 		saveP    = flag.String("save-index-p", "", "after building P's index, save it to this file (skip the build next run by passing it as -p)")
@@ -139,9 +140,16 @@ func main() {
 		fatalf("-save-index-q has no effect with -self (Q is never loaded); use -save-index-p")
 	}
 
-	alg, ok := map[string]rcj.Algorithm{"inj": rcj.INJ, "bij": rcj.BIJ, "obj": rcj.OBJ}[*algStr]
+	if *planMode != "auto" && *planMode != "fixed" {
+		fatalf("-plan must be auto or fixed, got %q", *planMode)
+	}
+	alg, ok := map[string]rcj.Algorithm{"": 0, "auto": 0, "inj": rcj.INJ, "bij": rcj.BIJ, "obj": rcj.OBJ, "brute": rcj.Brute}[*algStr]
 	if !ok {
 		fatalf("unknown algorithm %q", *algStr)
+	}
+	forced := *algStr != "" && *algStr != "auto"
+	if !forced && *planMode == "fixed" {
+		alg, forced = rcj.OBJ, true
 	}
 	be, err := rcj.ParseBackend(*backend)
 	if err != nil {
@@ -150,13 +158,15 @@ func main() {
 
 	qry := rcj.Query{
 		Algorithm:      alg,
-		ForceAlgorithm: true,
+		ForceAlgorithm: forced,
 		Parallelism:    *parallel,
 		TopK:           *topK,
 		MaxDiameter:    *maxDiam,
 		MinDistance:    *minDist,
 		Limit:          *limit,
 	}
+	var plan rcj.PlanDecision
+	qry.PlanOut = &plan
 	if *region != "" {
 		qry.Region = parseRegion(*region)
 	}
@@ -290,6 +300,7 @@ func main() {
 			for _, pr := range pairs {
 				writePair(cw, pr.P.ID, pr.Q.ID, pr.Center.X, pr.Center.Y, pr.Radius)
 			}
+			fmt.Fprintf(os.Stderr, "rcjjoin: plan: %s\n", plan)
 			fmt.Fprintf(os.Stderr, "rcjjoin: %d pairs (%d candidates verified, %d page faults%s)\n",
 				st.Results, st.Candidates, st.PageFaults, prunedNote())
 			reportRemote()
@@ -323,6 +334,7 @@ func main() {
 			writePair(cw, pr.P.ID, pr.Q.ID, pr.Center.X, pr.Center.Y, pr.Radius)
 			results++
 		}
+		fmt.Fprintf(os.Stderr, "rcjjoin: plan: %s\n", plan)
 		fmt.Fprintf(os.Stderr, "rcjjoin: %d pairs streamed (%d page faults%s)\n", results, st.PageFaults, prunedNote())
 		reportRemote()
 	case "l1":

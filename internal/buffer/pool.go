@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/storage"
 )
@@ -43,6 +44,10 @@ type Key struct {
 // already had in flight for the same key instead of calling load themselves
 // (the single-flight dedupe); each one is still counted as a miss, so the
 // hit/miss classification — and per-tag attribution — is unchanged.
+// LoadNanos accumulates the real time requests spent blocked on miss loads
+// (leaders in the pager, waiters on the leader's flight), in nanoseconds.
+// It is a sum over requests, like CPU-seconds: concurrent faults each add
+// their own wait, so the total may exceed wall time.
 type Stats struct {
 	Accesses     int64
 	Hits         int64
@@ -50,7 +55,11 @@ type Stats struct {
 	Evictions    int64
 	PrefetchHits int64
 	SharedLoads  int64
+	LoadNanos    int64
 }
+
+// LoadWait returns the accumulated miss-load wait as a duration.
+func (s Stats) LoadWait() time.Duration { return time.Duration(s.LoadNanos) }
 
 // Faults returns the number of page faults (cache misses).
 func (s Stats) Faults() int64 { return s.Misses }
@@ -71,6 +80,7 @@ func (s *Stats) add(o Stats) {
 	s.Evictions += o.Evictions
 	s.PrefetchHits += o.PrefetchHits
 	s.SharedLoads += o.SharedLoads
+	s.LoadNanos += o.LoadNanos
 }
 
 // TagStats attributes buffer accesses to one logical request (typically one
@@ -85,18 +95,20 @@ func (s *Stats) add(o Stats) {
 // The zero value is ready to use. A TagStats must not be reused across
 // requests whose counts should stay separate.
 type TagStats struct {
-	accesses atomic.Int64
-	hits     atomic.Int64
-	misses   atomic.Int64
+	accesses  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	loadNanos atomic.Int64
 }
 
 // Stats returns a snapshot of the tag's counters. Evictions are a pool-wide
 // phenomenon and are not attributable to one request; the field is always 0.
 func (t *TagStats) Stats() Stats {
 	return Stats{
-		Accesses: t.accesses.Load(),
-		Hits:     t.hits.Load(),
-		Misses:   t.misses.Load(),
+		Accesses:  t.accesses.Load(),
+		Hits:      t.hits.Load(),
+		Misses:    t.misses.Load(),
+		LoadNanos: t.loadNanos.Load(),
 	}
 }
 
@@ -320,7 +332,15 @@ func (p *Pool) GetTaggedFirst(k Key, tag *TagStats, load func() (any, error)) (a
 		tag.misses.Add(1)
 	}
 	if waiting {
+		waitStart := time.Now()
 		<-lf.done
+		wait := time.Since(waitStart).Nanoseconds()
+		s.mu.Lock()
+		s.stats.LoadNanos += wait
+		s.mu.Unlock()
+		if tag != nil {
+			tag.loadNanos.Add(wait)
+		}
 		if lf.err != nil {
 			return nil, false, lf.err
 		}
@@ -328,11 +348,19 @@ func (p *Pool) GetTaggedFirst(k Key, tag *TagStats, load func() (any, error)) (a
 	}
 
 	// Load outside the lock: loads hit the pager, which has its own locking,
-	// and may be slow for file-backed pagers.
+	// and may be slow for file-backed pagers. The wall time spent here is the
+	// request's real I/O wait, recorded so cost accounting can separate fetch
+	// latency from compute.
+	loadStart := time.Now()
 	v, err := load()
+	loaded := time.Since(loadStart).Nanoseconds()
+	if tag != nil {
+		tag.loadNanos.Add(loaded)
+	}
 	if err != nil {
 		s.mu.Lock()
 		delete(s.inflight, k)
+		s.stats.LoadNanos += loaded
 		s.mu.Unlock()
 		f.err = err
 		close(f.done)
@@ -341,6 +369,7 @@ func (p *Pool) GetTaggedFirst(k Key, tag *TagStats, load func() (any, error)) (a
 	f.v = v
 
 	s.mu.Lock()
+	s.stats.LoadNanos += loaded
 	delete(s.inflight, k)
 	if s.capacity == 0 {
 		s.mu.Unlock()

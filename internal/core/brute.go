@@ -34,7 +34,7 @@ func (j *joiner) runBrute() error {
 					continue
 				}
 			}
-			if !j.admitPair(q.P, p.P) {
+			if !j.admitPair(q, p) {
 				// Query predicates select output pairs; skipping before the
 				// range searches keeps the baseline honest about their cost.
 				continue

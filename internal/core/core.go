@@ -164,6 +164,21 @@ type Options struct {
 	// the returned pairs are traversal-order-dependent (any Limit-sized
 	// subset of the result); with TopK it truncates the ranking.
 	Limit int
+	// Weight, when non-nil with TopK > 0, flips the top-k ranking from
+	// ascending diameter to descending combined endpoint weight — the
+	// paper's school-bus scenario, where pairs are browsed by how many
+	// children they serve. The k-th combined score becomes the dynamic
+	// bound: once the heap fills, candidates strictly below it are killed
+	// before verification. The output equals the head of
+	// RankPairsByWeight over the unconstrained join; the weighted ranking
+	// arrives in one final batch, in descending score order. Weight must be
+	// pure and is called concurrently under Parallelism.
+	Weight func(rtree.PointEntry) float64
+	// PredicateOrder, when non-empty, is the order admitPair evaluates the
+	// pair-level predicates in (a planner puts the most selective first).
+	// Omitted predicates are appended in default order; the predicates are
+	// a conjunction, so every order admits the identical set.
+	PredicateOrder []Predicate
 }
 
 // Stats reports what a join run did. I/O and node-access counters live in
@@ -226,6 +241,10 @@ type joiner struct {
 	stats  Stats
 	out    []Pair
 	batch  []Pair // survivors of the current verification batch (OnBatch only)
+
+	// predOrder is the compiled pair-predicate evaluation order (see
+	// compilePredOrder), resolved once per run and copied to every worker.
+	predOrder [3]Predicate
 
 	// Per-worker scratch reused across filter calls (a joiner is never used
 	// concurrently): the traversal heap, the Ψ− pruner set, the candidate

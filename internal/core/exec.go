@@ -59,6 +59,7 @@ func (j *joiner) execute(ctx context.Context) ([]Pair, Stats, error) {
 	}
 	j.ctx = ctx
 	j.plan = compile(j.opts)
+	j.predOrder = compilePredOrder(j.opts)
 	if j.opts.hasPredicates() {
 		j.shared = newRunShared(j.opts)
 	}

@@ -148,7 +148,7 @@ func (j *joiner) filter(q rtree.PointEntry) ([]rtree.PointEntry, error) {
 			if prs.PrunesPoint(item.point.P) {
 				continue
 			}
-			if j.admitPair(q.P, item.point.P) {
+			if j.admitPair(q, item.point) {
 				cands = append(cands, item.point)
 			}
 			// A point excluded by MinDistance/Region still prunes: the join
@@ -268,7 +268,7 @@ func (j *joiner) bulkFilter(leafPoints []rtree.PointEntry, symmetric bool) ([]bu
 						// prune is farther still, hence also beyond the bound.
 						continue
 					}
-					if j.admitPairDist(d, bq.q.P, item.point.P) {
+					if j.admitPairDist(d, bq.q, item.point) {
 						bq.cands = append(bq.cands, item.point)
 					}
 				} else {

@@ -53,7 +53,7 @@ func (j *joiner) runParallel() error {
 		// redirected through the shared, locked emitter. The predicate state
 		// (TopK heap and its dynamic bound, Limit countdown) is shared, so
 		// one worker's tightened bound prunes every worker's traversal.
-		worker := &joiner{tq: j.tq, tp: j.tp, opts: j.opts, ctx: ctx, plan: j.plan, shared: j.shared}
+		worker := &joiner{tq: j.tq, tp: j.tp, opts: j.opts, ctx: ctx, plan: j.plan, shared: j.shared, predOrder: j.predOrder}
 		worker.opts.Collect = false
 		worker.opts.OnPair = func(p Pair) {
 			emitMu.Lock()

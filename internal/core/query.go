@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/geom"
+	"repro/internal/rtree"
 	"repro/internal/topk"
 )
 
@@ -40,6 +41,52 @@ import (
 // before execute returns.
 var errLimitReached = errors.New("core: result limit reached")
 
+// Predicate names one pair-level predicate for Options.PredicateOrder.
+type Predicate uint8
+
+const (
+	// PredDiameter is the diameter bound: static MaxDiameter intersected
+	// with a TopK run's dynamic bound.
+	PredDiameter Predicate = iota + 1
+	// PredMinDistance is the MinDistance floor.
+	PredMinDistance
+	// PredRegion is the Region window test on the circle center.
+	PredRegion
+)
+
+// defaultPredicateOrder is the historical evaluation order, used when
+// Options.PredicateOrder is empty.
+var defaultPredicateOrder = [3]Predicate{PredDiameter, PredMinDistance, PredRegion}
+
+// compilePredOrder resolves the run's pair-predicate evaluation order:
+// the planner-chosen order when given (completed with any predicates it
+// omitted, so a partial order can never drop a check), the default
+// otherwise. Order affects only which test rejects a pair first — the
+// predicates are a conjunction, so the admitted set is identical for every
+// order.
+func compilePredOrder(opts Options) [3]Predicate {
+	if len(opts.PredicateOrder) == 0 {
+		return defaultPredicateOrder
+	}
+	var out [3]Predicate
+	n := 0
+	seen := [4]bool{}
+	add := func(p Predicate) {
+		if p >= PredDiameter && p <= PredRegion && !seen[p] && n < 3 {
+			seen[p] = true
+			out[n] = p
+			n++
+		}
+	}
+	for _, p := range opts.PredicateOrder {
+		add(p)
+	}
+	for _, p := range defaultPredicateOrder {
+		add(p)
+	}
+	return out
+}
+
 // hasPredicates reports whether any pushdown predicate is set.
 func (o Options) hasPredicates() bool {
 	return o.MaxDiameter > 0 || o.MinDistance > 0 || o.Region != nil || o.TopK > 0 || o.Limit > 0
@@ -57,6 +104,9 @@ type runShared struct {
 
 // newRunShared compiles the predicate set of one run. TopK subsumes Limit:
 // the k tightest pairs truncated to Limit are the min(k, Limit) tightest.
+// With a Weight function the ranking flips to descending combined endpoint
+// weight (the school-bus scenario) and the dynamic bound becomes a score
+// floor instead of a diameter ceiling.
 func newRunShared(opts Options) *runShared {
 	sh := &runShared{}
 	if opts.TopK > 0 {
@@ -64,7 +114,13 @@ func newRunShared(opts Options) *runShared {
 		if opts.Limit > 0 && opts.Limit < k {
 			k = opts.Limit
 		}
-		t := &topkState{h: topk.New(k, pairBefore)}
+		t := &topkState{weight: opts.Weight}
+		if t.weight != nil {
+			t.h = topk.New(k, weightBefore(t.weight))
+			t.score.Store(math.Float64bits(math.Inf(-1)))
+		} else {
+			t.h = topk.New(k, pairBefore)
+		}
 		t.diam.Store(math.Float64bits(math.Inf(1)))
 		sh.topk = t
 	} else if opts.Limit > 0 {
@@ -77,15 +133,34 @@ func newRunShared(opts Options) *runShared {
 // diameter is published through diam so every worker's filter traversal
 // reads the tightest bound with one atomic load, no lock — the
 // branch-and-bound of the paper's browsing scenario.
+//
+// A weight-ranked run (weight != nil) keeps the k best pairs by descending
+// combined endpoint weight instead. Diameter no longer orders the heap, so
+// diam stays +Inf (the traversal's distance bound is only the static
+// MaxDiameter); the dynamic bound is the k-th combined score, published
+// through score: once the heap is full, a pair whose combined weight is
+// strictly below it can never enter the ranking and is killed before
+// verification.
 type topkState struct {
-	diam atomic.Uint64 // Float64bits of the current diameter bound; +Inf until the heap fills
-	mu   sync.Mutex
-	h    *topk.Heap[Pair]
+	diam   atomic.Uint64 // Float64bits of the current diameter bound; +Inf until the heap fills
+	score  atomic.Uint64 // weight-ranked runs: Float64bits of the k-th combined score; -Inf until full
+	weight func(rtree.PointEntry) float64
+	mu     sync.Mutex
+	h      *topk.Heap[Pair]
 }
 
 // bound returns the current dynamic diameter bound: pairs strictly wider
-// cannot enter the final top k.
+// cannot enter the final top k. Always +Inf for weight-ranked runs.
 func (t *topkState) bound() float64 { return math.Float64frombits(t.diam.Load()) }
+
+// scoreBound returns the weight-ranked run's current dynamic score floor:
+// pairs whose combined weight is strictly below it cannot enter the final
+// top k. -Inf until the heap fills (and always for diameter-ranked runs,
+// which never load it).
+func (t *topkState) scoreBound() float64 { return math.Float64frombits(t.score.Load()) }
+
+// pairScore is the weight-ranked run's combined endpoint weight.
+func (t *topkState) pairScore(p Pair) float64 { return t.weight(p.P) + t.weight(p.Q) }
 
 // offer submits one verified pair. The heap keeps the k best under the
 // deterministic ranking order; whenever the k-th pair improves, the
@@ -94,7 +169,11 @@ func (t *topkState) offer(p Pair) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.h.Offer(p) && t.h.Full() {
-		t.diam.Store(math.Float64bits(2 * t.h.Worst().Circle.Radius))
+		if t.weight != nil {
+			t.score.Store(math.Float64bits(t.pairScore(t.h.Worst())))
+		} else {
+			t.diam.Store(math.Float64bits(2 * t.h.Worst().Circle.Radius))
+		}
 	}
 }
 
@@ -117,6 +196,20 @@ func pairBefore(a, b Pair) bool {
 		return a.P.ID < b.P.ID
 	}
 	return a.Q.ID < b.Q.ID
+}
+
+// weightBefore is the deterministic ranking order of a weight-ranked top-k
+// run: descending combined endpoint weight, ties broken by the diameter
+// ranking. It matches the public RankPairsByWeight order, so a weighted
+// "TopK" is exactly the head of that sort over the unconstrained join.
+func weightBefore(w func(rtree.PointEntry) float64) func(a, b Pair) bool {
+	return func(a, b Pair) bool {
+		sa, sb := w(a.P)+w(a.Q), w(b.P)+w(b.Q)
+		if sa != sb {
+			return sa > sb
+		}
+		return pairBefore(a, b)
+	}
 }
 
 // boundSlack relaxes the traversal-level distance-bound checks: those
@@ -152,27 +245,53 @@ func (j *joiner) maxPairDiameter() float64 {
 // diameter bound (static and dynamic), the minimum distance, and the region
 // window on the circle center (the midpoint of the two points). Runs with
 // no predicates skip the distance computation entirely.
-func (j *joiner) admitPair(a, b geom.Point) bool {
+func (j *joiner) admitPair(a, b rtree.PointEntry) bool {
 	if !j.opts.hasPredicates() {
 		return true
 	}
-	return j.admitPairDist(a.Dist(b), a, b)
+	return j.admitPairDist(a.P.Dist(b.P), a, b)
 }
 
 // admitPairDist is admitPair for callers that already hold the pair's exact
 // (math.Hypot) distance — the bulk filter computes it for the bound check
 // and must not pay the square root twice per (leaf point × query point).
-func (j *joiner) admitPairDist(d float64, a, b geom.Point) bool {
-	if d > j.maxPairDiameter() {
-		return false
+// Predicates run in the plan's evaluation order (most selective first when
+// the planner ordered them); the predicates are a conjunction, so the
+// admitted set is identical for every order. A weight-ranked top-k run
+// additionally kills pairs whose combined score is strictly below the
+// heap's current k-th score — they can never displace a ranked pair.
+func (j *joiner) admitPairDist(d float64, a, b rtree.PointEntry) bool {
+	for _, pred := range j.predOrder {
+		switch pred {
+		case PredDiameter:
+			if d > j.maxPairDiameter() {
+				return false
+			}
+		case PredMinDistance:
+			if j.opts.MinDistance > 0 && d < j.opts.MinDistance {
+				return false
+			}
+		case PredRegion:
+			if r := j.opts.Region; r != nil && !r.ContainsPoint(a.P.Mid(b.P)) {
+				return false
+			}
+		}
 	}
-	if j.opts.MinDistance > 0 && d < j.opts.MinDistance {
-		return false
-	}
-	if r := j.opts.Region; r != nil && !r.ContainsPoint(a.Mid(b)) {
-		return false
+	if t := j.weightedTopK(); t != nil {
+		if t.weight(a)+t.weight(b) < t.scoreBound() {
+			return false
+		}
 	}
 	return true
+}
+
+// weightedTopK returns the run's weight-ranked top-k state, or nil when the
+// run is unranked or diameter-ranked.
+func (j *joiner) weightedTopK() *topkState {
+	if j.shared != nil && j.shared.topk != nil && j.shared.topk.weight != nil {
+		return j.shared.topk
+	}
+	return nil
 }
 
 // regionPrunesRect reports whether the Region window rules out every pair of

@@ -81,6 +81,33 @@ const sweepThreshold = 256
 // check: under-pruning a boundary tie is free, over-pruning would break the
 // post-filter set identity.
 func (j *joiner) boundBatch(cands []*candidate) {
+	if t := j.weightedTopK(); t != nil {
+		// Weight-ranked run: the dynamic bound is a score floor, checked
+		// exactly (same w(P)+w(Q) arithmetic as the heap — no slack needed),
+		// and the batch is reordered best-score-first so survivors raise the
+		// published floor as early as possible. Diameter still applies when
+		// a static MaxDiameter is set.
+		if bound := j.opts.MaxDiameter; bound > 0 {
+			limit := bound * boundSlack
+			for _, c := range cands {
+				if c.alive && 2*c.pair.Circle.Radius > limit {
+					c.alive = false
+					j.stats.BoundKilledCandidates++
+				}
+			}
+		}
+		if floor := t.scoreBound(); !math.IsInf(floor, -1) {
+			for _, c := range cands {
+				if c.alive && t.pairScore(c.pair) < floor {
+					c.alive = false
+					j.stats.BoundKilledCandidates++
+				}
+			}
+		}
+		before := weightBefore(t.weight)
+		sort.Slice(cands, func(a, b int) bool { return before(cands[a].pair, cands[b].pair) })
+		return
+	}
 	bound := j.maxPairDiameter()
 	if math.IsInf(bound, 1) {
 		return

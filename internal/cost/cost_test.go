@@ -1,6 +1,7 @@
 package cost
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -46,6 +47,72 @@ func TestMeterConvertsFaults(t *testing.T) {
 	}
 	if b.CPUTime <= 0 {
 		t.Fatalf("cpu time %v", b.CPUTime)
+	}
+}
+
+// TestMeterSeparatesMeasuredIO pins the I/O double-count regression: on a
+// backend whose faults take real time, fetch latency used to land in
+// CPUTime (Stop reported raw wall time) while each fault was *also*
+// charged the modeled 10 ms, so Total() billed every slow fetch twice.
+// The harness below plays a slow, flaky origin — every load sleeps, and
+// some attempts fail before a retry succeeds — and requires the wait to
+// land in MeasuredIO with CPUTime reduced to the residual compute.
+func TestMeterSeparatesMeasuredIO(t *testing.T) {
+	const (
+		pages = 4
+		delay = 4 * time.Millisecond
+	)
+	errTransient := errors.New("origin hiccup")
+	pool := buffer.NewPool(-1)
+	attempts := 0
+	load := func() (any, error) {
+		attempts++
+		time.Sleep(delay) // origin RTT, paid on failures too
+		if attempts%2 == 1 {
+			return nil, errTransient
+		}
+		return 0, nil
+	}
+
+	m := NewMeter(pool)
+	faults := int64(0)
+	for i := 0; i < pages; i++ {
+		k := buffer.Key{Owner: 1, Page: storage.PageID(i)}
+		for { // caller-side retry loop, as a remote pager's caller would run
+			_, err := pool.Get(k, load)
+			faults++
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, errTransient) {
+				t.Fatal(err)
+			}
+		}
+	}
+	b := m.Stop()
+
+	if b.Faults != faults {
+		t.Fatalf("faults %d, want %d", b.Faults, faults)
+	}
+	// Every attempt slept, so the measured wait must cover all of them.
+	if want := time.Duration(attempts) * delay; b.MeasuredIO < want {
+		t.Fatalf("measured io %v, want >= %v (attempts=%d)", b.MeasuredIO, want, attempts)
+	}
+	// The regression: CPUTime used to be wall time, i.e. >= all the sleeps.
+	// Now it is the residual compute, which must be well under the I/O wait.
+	if b.CPUTime >= b.MeasuredIO {
+		t.Fatalf("cpu %v >= measured io %v: fetch latency still billed as CPU", b.CPUTime, b.MeasuredIO)
+	}
+	// Modeled I/O stays the paper's per-fault charge, independent of the
+	// measured wait — Total() is modeled I/O + compute, not + wall I/O.
+	if b.IOTime != time.Duration(faults)*PageFaultCost {
+		t.Fatalf("io time %v, want %v", b.IOTime, time.Duration(faults)*PageFaultCost)
+	}
+	if b.Total() != b.IOTime+b.CPUTime {
+		t.Fatalf("total %v != io %v + cpu %v", b.Total(), b.IOTime, b.CPUTime)
+	}
+	if got := b.FaultLatency(); got < delay {
+		t.Fatalf("fault latency %v, want >= %v", got, delay)
 	}
 }
 

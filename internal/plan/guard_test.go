@@ -1,0 +1,97 @@
+package plan
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// optionsGuardAllowed lists the packages that may set core.Options.Algorithm
+// directly: core itself, the rcj boundary (where the planner resolves it),
+// and the experiment harness, whose whole job is forcing algorithms to
+// measure them against each other.
+var optionsGuardAllowed = []string{
+	"internal/core",
+	"internal/exp",
+	"rcj",
+}
+
+// TestNoDirectAlgorithmConstruction is the vet-level guard on the planner
+// boundary: every serving-path caller must route through rcj.Query (whose
+// Resolve applies the planner, or pins a forced choice); constructing a
+// core.Options literal with an explicit Algorithm anywhere else bypasses
+// planning, cache keys, and the equivalence gate. Test files are exempt:
+// exercising core.Join directly (e.g. against the quadtree backend) is what
+// package tests are for.
+func TestNoDirectAlgorithmConstruction(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var violations []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		for _, allowed := range optionsGuardAllowed {
+			if rel == allowed || strings.HasPrefix(rel, allowed+"/") {
+				return nil
+			}
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", rel, err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			sel, ok := lit.Type.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Options" {
+				return true
+			}
+			if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "core" {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Algorithm" {
+					violations = append(violations,
+						fmt.Sprintf("%s:%d", rel, fset.Position(kv.Pos()).Line))
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("%s: core.Options{Algorithm: ...} constructed outside the planner boundary — use rcj.Query (Algorithm + ForceAlgorithm) so the plan resolves through Resolve", v)
+	}
+}

@@ -1,0 +1,401 @@
+// Package plan is the cost-based query planner: given the shape of one
+// ring-constrained join request, metadata the index already carries (count,
+// MBR, height — superblock fields for immutable indexes, live epoch state
+// for mutable ones), and observed serving statistics, it picks the
+// algorithm (INJ/BIJ/OBJ/brute), parallelism, prefetch depth, and pair-
+// predicate evaluation order, using the paper's Section 5 cost model
+// (internal/cost) to price the candidates.
+//
+// The planner is equivalency-gated, mirroring janus-datalog's phase
+// reordering: a plan choice may change the cost of a query, never its
+// result set. Every algorithm in the family returns the identical pair set,
+// predicate order is a conjunction reorder, and parallelism only changes
+// emission order — so the planner is free to be wrong about cost without
+// ever being wrong about answers. The randomized equivalence suite in rcj
+// holds it to that.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/geom"
+)
+
+// IndexMeta describes one join input from metadata already on hand — no
+// page is read to plan. For a mutable index the fields must come from the
+// live epoch layer (LiveStats), not the sealed superblock: the delta makes
+// the superblock count stale the moment a batch lands.
+type IndexMeta struct {
+	// Count is the number of indexed points (the live count for mutable
+	// indexes).
+	Count int
+	// Height is the R-tree level count; 0 = unknown (estimated from Count).
+	Height int
+	// LeafCap is the leaf-node entry capacity; 0 = unknown (default used).
+	LeafCap int
+	// MBR is the dataset bounding rectangle when HasMBR is set.
+	MBR    geom.Rect
+	HasMBR bool
+	// Remote marks an index whose pages are fetched over HTTP.
+	Remote bool
+	// Mutable marks a live (epoch-layered) index; Epoch is its current
+	// sequence, carried so a decision can be pinned to the state it planned
+	// against.
+	Mutable bool
+	Epoch   uint64
+}
+
+// Observed is runtime feedback from the serving stack. The zero value means
+// "nothing observed yet" and yields conservative defaults.
+type Observed struct {
+	// BufferHitRatio is the pool's recent hit ratio in [0, 1]; 0 = cold or
+	// unknown.
+	BufferHitRatio float64
+	// FaultLatency is the measured mean page-fetch wait (cost.Breakdown.
+	// FaultLatency); 0 = use the paper's modeled cost.PageFaultCost for
+	// remote indexes and nothing for local ones.
+	FaultLatency time.Duration
+	// FreeSlots / QueueDepth describe scheduler pressure: parallel fan-out
+	// is pointless when concurrent requests already saturate the CPUs.
+	FreeSlots  int
+	QueueDepth int
+	// MaxProcs caps parallelism; 0 = runtime.GOMAXPROCS.
+	MaxProcs int
+}
+
+// Request is the predicate shape of the query being planned.
+type Request struct {
+	Self        bool
+	MaxDiameter float64
+	MinDistance float64
+	Region      *geom.Rect
+	TopK        int
+	Limit       int
+	// Weighted marks a school-bus query: TopK re-ranked by combined
+	// endpoint weight. The planner answers with UseWeightBound, turning the
+	// k-th score into a candidate-kill bound instead of materializing the
+	// full join and sorting.
+	Weighted bool
+	// Parallelism, when > 0, is caller-fixed; the planner echoes it.
+	Parallelism int
+}
+
+// Decision is one resolved plan.
+type Decision struct {
+	Algorithm   core.Algorithm
+	Parallelism int
+	// PrefetchDepth is the advisory readahead queue depth for remote
+	// indexes: 0 = no readahead wanted (local pages, or a buffer so hot
+	// that speculation only wastes fetches).
+	PrefetchDepth int
+	// PredicateOrder is the pair-predicate evaluation order, most selective
+	// first. Empty when at most one predicate is set (nothing to reorder).
+	PredicateOrder []core.Predicate
+	// UseWeightBound enables the weight-ranked top-k bound function.
+	UseWeightBound bool
+	// EstAccesses / EstFaults / EstCost price the chosen plan under the
+	// Section 5 model: accesses ≈ CPU, faults × fault latency ≈ I/O.
+	EstAccesses int64
+	EstFaults   int64
+	EstCost     time.Duration
+	// Rule names the decision for humans and metrics ("tiny-brute",
+	// "small-outer-inj", "default-obj", ...).
+	Rule string
+	// Epochs pins the live epochs the decision planned against (outer,
+	// inner); zero for immutable inputs.
+	Epochs [2]uint64
+}
+
+// String renders the decision for per-request summaries.
+func (d Decision) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "alg=%s par=%d rule=%s", d.Algorithm, d.Parallelism, d.Rule)
+	if d.PrefetchDepth > 0 {
+		fmt.Fprintf(&b, " prefetch=%d", d.PrefetchDepth)
+	}
+	if len(d.PredicateOrder) > 0 {
+		b.WriteString(" order=")
+		for _, p := range d.PredicateOrder {
+			switch p {
+			case core.PredDiameter:
+				b.WriteByte('d')
+			case core.PredMinDistance:
+				b.WriteByte('m')
+			case core.PredRegion:
+				b.WriteByte('r')
+			}
+		}
+	}
+	if d.UseWeightBound {
+		b.WriteString(" weight-bound")
+	}
+	fmt.Fprintf(&b, " est_accesses=%d est_cost=%s", d.EstAccesses, d.EstCost.Round(time.Microsecond))
+	return b.String()
+}
+
+// Planning thresholds. These pick between strategies whose result sets are
+// identical, so they only need to be roughly right; the estimates below
+// carry the fine-grained comparison.
+const (
+	// bruteMaxWork: below this many point comparisons the quadratic
+	// baseline beats any tree machinery (no heap, no node decode).
+	bruteMaxWork = 64 * 64
+	// injMaxOuter: with at most this many effective outer points the
+	// per-point filter (INJ) costs about one leaf's bulk filter and avoids
+	// bulk setup entirely.
+	injMaxOuter = 48
+	// parallelMinAccesses: fan a join out only when the estimated work
+	// amortizes worker startup and emission locking.
+	parallelMinAccesses = 5_000
+	// defaultLeafCap approximates the R*-tree fanout when the superblock
+	// does not say (4 KiB pages hold ~100 points; stay conservative).
+	defaultLeafCap = 64
+	// cpuPerAccess prices one node access for EstCost — the Section 5 CPU
+	// proxy calibrated very roughly against the warm-join benchmarks; only
+	// relative magnitudes matter to the planner.
+	cpuPerAccess = 2 * time.Microsecond
+)
+
+// Plan resolves one query. outer is the Q input (the side whose leaves
+// drive the join), inner is P; for a self-join pass the same meta twice.
+func Plan(req Request, outer, inner IndexMeta, obs Observed) Decision {
+	d := Decision{
+		Epochs:         [2]uint64{outer.Epoch, inner.Epoch},
+		PredicateOrder: predicateOrder(req, outer, inner),
+		UseWeightBound: req.Weighted && req.TopK > 0,
+	}
+
+	nQ, nP := outer.Count, inner.Count
+	sel := regionSelectivity(req.Region, outer)
+	effOuter := int(math.Ceil(float64(nQ) * sel))
+
+	switch {
+	case nQ*nP <= bruteMaxWork:
+		d.Algorithm = core.AlgBrute
+		d.Rule = "tiny-brute"
+		d.EstAccesses = int64(nQ+nP) / defaultLeafCap // leaf scans only
+	case effOuter <= injMaxOuter:
+		d.Algorithm = core.AlgINJ
+		d.Rule = "small-outer-inj"
+		d.EstAccesses = int64(effOuter) * int64(height(inner)+2)
+	default:
+		// OBJ dominates BIJ in every measured configuration (the paper's
+		// Lemma 5 symmetric pruning is nearly free and always helps), so
+		// BIJ is reachable only by forcing.
+		d.Algorithm = core.AlgOBJ
+		d.Rule = "default-obj"
+		lq := int64(leaves(outer))
+		if sel < 1 {
+			lq = int64(math.Ceil(float64(lq) * sel))
+			d.Rule = "region-pruned-obj"
+		}
+		// Per outer leaf the bulk filter descends the inner tree and touches
+		// a handful of its leaves (height + a fringe of siblings).
+		d.EstAccesses = nodes(outer) + lq*int64(height(inner)+6)
+	}
+	if d.UseWeightBound {
+		d.Rule += "+weight-bound"
+	}
+
+	d.Parallelism = parallelism(req, obs, d.EstAccesses)
+	d.PrefetchDepth = prefetchDepth(outer, inner, obs)
+	d.EstFaults, d.EstCost = price(d.EstAccesses, outer, inner, obs)
+	return d
+}
+
+// leaves estimates the leaf count of one input.
+func leaves(m IndexMeta) int {
+	cap := m.LeafCap
+	if cap <= 0 {
+		cap = defaultLeafCap
+	}
+	if m.Count <= 0 {
+		return 0
+	}
+	return (m.Count + cap - 1) / cap
+}
+
+// nodes estimates the total node count: the leaf level plus a geometric
+// series of internal levels (fanout ≈ leaf capacity).
+func nodes(m IndexMeta) int64 {
+	l := leaves(m)
+	if l <= 1 {
+		return int64(l)
+	}
+	cap := m.LeafCap
+	if cap <= 1 {
+		cap = defaultLeafCap
+	}
+	return int64(math.Ceil(float64(l) * float64(cap) / float64(cap-1)))
+}
+
+// height returns the input's tree height, estimating log_fanout(count) when
+// the metadata does not carry it (mutable indexes: the delta has no fixed
+// height).
+func height(m IndexMeta) int {
+	if m.Height > 0 {
+		return m.Height
+	}
+	if m.Count <= 1 {
+		return 1
+	}
+	cap := m.LeafCap
+	if cap <= 1 {
+		cap = defaultLeafCap
+	}
+	return int(math.Ceil(math.Log(float64(m.Count))/math.Log(float64(cap)))) + 1
+}
+
+// regionSelectivity estimates the fraction of the outer input a Region
+// window leaves reachable: the area fraction of the window's intersection
+// with the dataset MBR, widened to account for pair centers falling between
+// datasets. 1 when there is no window or no MBR to judge against.
+func regionSelectivity(r *geom.Rect, m IndexMeta) float64 {
+	if r == nil || !m.HasMBR {
+		return 1
+	}
+	mw, mh := m.MBR.MaxX-m.MBR.MinX, m.MBR.MaxY-m.MBR.MinY
+	if mw <= 0 || mh <= 0 {
+		return 1
+	}
+	ix := math.Max(0, math.Min(r.MaxX, m.MBR.MaxX)-math.Max(r.MinX, m.MBR.MinX))
+	iy := math.Max(0, math.Min(r.MaxY, m.MBR.MaxY)-math.Max(r.MinY, m.MBR.MinY))
+	// Centers are midpoints: a point up to half the window size outside the
+	// window can still pair into it, so widen the qualifying strip.
+	frac := ((ix + mw/8) / mw) * ((iy + mh/8) / mh)
+	return math.Min(1, frac)
+}
+
+// predicateOrder ranks the pair predicates most-selective-first. The
+// estimates are crude — what matters is putting a sharp Region window or a
+// tight diameter bound ahead of a weak MinDistance floor; any order is
+// result-identical.
+func predicateOrder(req Request, outer, inner IndexMeta) []core.Predicate {
+	type ranked struct {
+		p   core.Predicate
+		sel float64
+	}
+	var preds []ranked
+	extent := extentOf(outer, inner)
+	n := 0
+	if req.MaxDiameter > 0 || req.TopK > 0 {
+		sel := 0.5
+		if req.MaxDiameter > 0 && extent > 0 {
+			f := req.MaxDiameter / extent
+			sel = math.Min(1, f*f)
+		}
+		if req.TopK > 0 && !req.Weighted {
+			// The dynamic bound tightens toward the k nearest pairs —
+			// treat as highly selective once warmed.
+			sel = math.Min(sel, 0.1)
+		}
+		preds = append(preds, ranked{core.PredDiameter, sel})
+		n++
+	}
+	if req.MinDistance > 0 {
+		sel := 0.9 // drops only trivially-tight pairs in most datasets
+		if extent > 0 {
+			f := req.MinDistance / extent
+			sel = math.Max(0.1, 1-math.Min(1, f*f))
+		}
+		preds = append(preds, ranked{core.PredMinDistance, sel})
+		n++
+	}
+	if req.Region != nil {
+		preds = append(preds, ranked{core.PredRegion, regionSelectivity(req.Region, outer)})
+		n++
+	}
+	if n < 2 {
+		return nil // one predicate (or none): nothing to reorder
+	}
+	sort.SliceStable(preds, func(a, b int) bool { return preds[a].sel < preds[b].sel })
+	out := make([]core.Predicate, len(preds))
+	for i, p := range preds {
+		out[i] = p.p
+	}
+	return out
+}
+
+// extentOf returns the larger side of the combined MBR, the length scale
+// distance predicates are judged against. 0 = unknown.
+func extentOf(a, b IndexMeta) float64 {
+	e := 0.0
+	for _, m := range []IndexMeta{a, b} {
+		if !m.HasMBR {
+			continue
+		}
+		e = math.Max(e, math.Max(m.MBR.MaxX-m.MBR.MinX, m.MBR.MaxY-m.MBR.MinY))
+	}
+	return e
+}
+
+// parallelism picks the worker count: the caller's when fixed, otherwise
+// fanned out only when the estimated work amortizes it, the host has spare
+// CPUs, and concurrent requests are not already using them.
+func parallelism(req Request, obs Observed, estAccesses int64) int {
+	if req.Parallelism > 0 {
+		return req.Parallelism
+	}
+	procs := obs.MaxProcs
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	if procs <= 1 || estAccesses < parallelMinAccesses {
+		return 1
+	}
+	par := procs
+	if par > 8 {
+		par = 8
+	}
+	// Under concurrent load the scheduler's free slots are a better signal
+	// of spare CPU than GOMAXPROCS.
+	if obs.FreeSlots > 0 && obs.FreeSlots < par {
+		par = obs.FreeSlots
+	}
+	if par < 1 {
+		par = 1
+	}
+	return par
+}
+
+// prefetchDepth picks the advisory readahead queue depth: deep for a cold
+// remote index (round trips to hide), shallow once the buffer is hot
+// (speculation mostly wastes fetches), zero for local pages.
+func prefetchDepth(outer, inner IndexMeta, obs Observed) int {
+	if !outer.Remote && !inner.Remote {
+		return 0
+	}
+	switch {
+	case obs.BufferHitRatio < 0.5:
+		return 64
+	case obs.BufferHitRatio < 0.9:
+		return 16
+	default:
+		return 4
+	}
+}
+
+// price converts the access estimate into the Section 5 cost: faults are
+// the accesses the buffer will miss, charged at the measured fault latency
+// when one is observed, the paper's modeled 10 ms for remote pages, and
+// nothing for local in-memory pages (their load time is already inside the
+// CPU term).
+func price(accesses int64, outer, inner IndexMeta, obs Observed) (int64, time.Duration) {
+	missRatio := 1 - obs.BufferHitRatio
+	if missRatio < 0 {
+		missRatio = 0
+	}
+	faults := int64(math.Ceil(float64(accesses) * missRatio))
+	perFault := obs.FaultLatency
+	if perFault == 0 && (outer.Remote || inner.Remote) {
+		perFault = cost.PageFaultCost
+	}
+	return faults, time.Duration(accesses)*cpuPerAccess + time.Duration(faults)*perFault
+}

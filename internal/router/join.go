@@ -168,10 +168,17 @@ func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("unknown format %q (want ndjson or csv)", req.Format), nil)
 		return
 	}
-	if _, ok := map[string]bool{"": true, "obj": true, "bij": true, "inj": true}[req.Alg]; !ok {
+	if _, ok := map[string]bool{"": true, "auto": true, "obj": true, "bij": true, "inj": true, "brute": true}[req.Alg]; !ok {
 		fail(http.StatusBadRequest, "bad_request",
-			fmt.Sprintf("unknown algorithm %q (want inj, bij, or obj)", req.Alg), nil)
+			fmt.Sprintf("unknown algorithm %q (want auto, inj, bij, obj, or brute)", req.Alg), nil)
 		return
+	}
+	// "" / "auto" lets each worker's planner pick per shard — shards differ
+	// in size, so one request can legitimately run OBJ on a dense shard and
+	// brute on a near-empty one — unless the router is pinned to the classic
+	// fixed default.
+	if req.Alg == "" && rt.cfg.FixedPlan {
+		req.Alg = "obj"
 	}
 	if req.Parallelism < 0 || req.MinDistance < 0 || req.TopK < 0 || req.Limit < 0 {
 		fail(http.StatusBadRequest, "bad_request", "parallelism, min_distance, top_k, and limit must be >= 0", nil)

@@ -370,10 +370,46 @@ func (s *Scheduler) SelfJoin(ctx context.Context, ix *rcj.Index, opts rcj.JoinOp
 	})
 }
 
+// resolve routes an unforced query through the cost-based planner, feeding
+// it the scheduler's live pressure (free slots, queue depth) so the chosen
+// fan-out respects concurrent load — and so the batch key downstream groups
+// by the RESOLVED algorithm, not the unplanned zero value. Resolution is
+// idempotent: queries a server already resolved take the fixed path
+// untouched. Invalid queries pass through unresolved so the engine surfaces
+// their validation error.
+func (s *Scheduler) resolve(q, p *rcj.Index, qry rcj.Query, self bool) rcj.Query {
+	if qry.Validate() != nil {
+		return qry
+	}
+	resolved, dec := qry.ResolveObserved(q, p, self, s.Observe(q, p))
+	if resolved.PlanOut != nil {
+		*resolved.PlanOut = dec
+	}
+	return resolved
+}
+
+// Observe merges the inputs' pool-derived planner feedback (rcj.Observe)
+// with the scheduler's live pressure: free slots damp the planner's chosen
+// fan-out while concurrent joins already hold the CPUs.
+func (s *Scheduler) Observe(q, p *rcj.Index) rcj.PlanObserved {
+	obs := rcj.Observe(q, p)
+	s.mu.Lock()
+	obs.FreeSlots = s.cfg.MaxConcurrent - s.running
+	obs.QueueDepth = s.queue.Len()
+	s.mu.Unlock()
+	if obs.FreeSlots < 1 {
+		// This request will own a slot once admitted; never report "unknown"
+		// (0) under saturation, which would let the fan-out default win.
+		obs.FreeSlots = 1
+	}
+	return obs
+}
+
 // Run admits a streaming v2 query (predicate pushdown: top-k, max-diameter,
 // region window, limit) under the same admission control as Join. See Join
 // for the slot lifecycle and stats contract.
 func (s *Scheduler) Run(ctx context.Context, q, p *rcj.Index, qry rcj.Query, stats *rcj.Stats) (iter.Seq2[rcj.Pair, error], error) {
+	qry = s.resolve(q, p, qry, false)
 	if seq, err, handled := s.runBatched(ctx, q, p, qry, false, stats); handled {
 		return seq, err
 	}
@@ -386,6 +422,7 @@ func (s *Scheduler) Run(ctx context.Context, q, p *rcj.Index, qry rcj.Query, sta
 
 // RunSelf is Run for the self-join of one index.
 func (s *Scheduler) RunSelf(ctx context.Context, ix *rcj.Index, qry rcj.Query, stats *rcj.Stats) (iter.Seq2[rcj.Pair, error], error) {
+	qry = s.resolve(ix, ix, qry, true)
 	if seq, err, handled := s.runBatched(ctx, ix, ix, qry, true, stats); handled {
 		return seq, err
 	}

@@ -40,12 +40,15 @@ type resultCache struct {
 }
 
 // cachedResult is one memoized result set: the exact pair stream a solo run
-// produced, plus the stats its summary line reported.
+// produced, plus the stats its summary line reported and the plan the
+// original run resolved to (replayed in the cached summary so plan
+// observability survives a cache hit).
 type cachedResult struct {
 	key   string
 	names []string // index names the entry depends on (1 for self-joins, 2 otherwise)
 	pairs []rcj.Pair
 	stats rcj.Stats
+	plan  rcj.PlanDecision
 }
 
 // newResultCache returns a cache holding up to maxEntries results of up to
@@ -95,6 +98,11 @@ func cacheKey(pName, pGen, qName, qGen string, self bool, qry rcj.Query) string 
 // radius ties differently), so parallel queries are never cached.
 func (c *resultCache) cacheable(qry rcj.Query) bool {
 	if c == nil || qry.Parallelism > 1 {
+		return false
+	}
+	// Weight functions are opaque: Canonical cannot tell two of them apart,
+	// so weighted rankings must never be memoized.
+	if qry.Weight != nil {
 		return false
 	}
 	if qry.TopK > 0 {

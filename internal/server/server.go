@@ -37,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buffer"
@@ -91,6 +92,13 @@ type Server struct {
 	retiredLive     liveCounters
 
 	requests atomic64map
+
+	// Planner observability: how many joins let the planner decide vs.
+	// forced a plan, and which algorithms/rules the decisions landed on.
+	planAuto  atomic.Int64
+	planFixed atomic.Int64
+	planAlg   atomic64map // by resolved algorithm ("obj", "inj", ...)
+	planRule  atomic64map // by decision rule ("default-obj", "tiny-brute", ...)
 }
 
 // indexEntry is one registered index and how it was loaded. refs counts the
@@ -160,6 +168,17 @@ func New(sch *sched.Scheduler, cfg Config) *Server {
 
 // Scheduler returns the server's join scheduler.
 func (s *Server) Scheduler() *sched.Scheduler { return s.sched }
+
+// recordPlan folds one resolved plan into the rcjd_plan_* counters.
+func (s *Server) recordPlan(dec rcj.PlanDecision) {
+	if dec.Rule == "fixed" {
+		s.planFixed.Add(1)
+	} else {
+		s.planAuto.Add(1)
+	}
+	s.planAlg.inc(strings.ToLower(dec.Algorithm.String()))
+	s.planRule.inc(dec.Rule)
+}
 
 // LoadIndex opens the saved index at path through the engine (shared buffer
 // pool, O(1) reattach) and registers it under name. Loading a name twice is
@@ -544,6 +563,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"live":         liveMetricsJSON(lc, snap),
 		"result_cache": s.cache.snapshot(),
 		"requests":     s.requests.snapshot(),
+		"plan": map[string]any{
+			"auto":       s.planAuto.Load(),
+			"fixed":      s.planFixed.Load(),
+			"algorithms": s.planAlg.snapshot(),
+			"rules":      s.planRule.snapshot(),
+		},
 	})
 }
 
@@ -625,6 +650,24 @@ func (s *Server) writePromMetrics(w http.ResponseWriter, snap sched.Snapshot, po
 	for _, ep := range endpoints {
 		fmt.Fprintf(w, "rcjd_requests_total{endpoint=%q} %d\n", ep, reqs[ep])
 	}
+	fmt.Fprintf(w, "# HELP rcjd_plan_auto_total Joins whose plan the cost-based planner chose.\n# TYPE rcjd_plan_auto_total counter\nrcjd_plan_auto_total %d\n", s.planAuto.Load())
+	fmt.Fprintf(w, "# HELP rcjd_plan_fixed_total Joins that forced their plan verbatim.\n# TYPE rcjd_plan_fixed_total counter\nrcjd_plan_fixed_total %d\n", s.planFixed.Load())
+	writePromLabeled(w, "rcjd_plan_algorithm_total", "Resolved joins by effective algorithm.", "alg", s.planAlg.snapshot())
+	writePromLabeled(w, "rcjd_plan_rule_total", "Resolved joins by planner decision rule.", "rule", s.planRule.snapshot())
+}
+
+// writePromLabeled renders one counter family with a single label, keys
+// sorted for a stable exposition.
+func writePromLabeled(w http.ResponseWriter, name, help, label string, vals map[string]int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, vals[k])
+	}
 }
 
 // writePromHistogram renders one sched.HistogramSnapshot in the Prometheus
@@ -689,6 +732,15 @@ type summaryLine struct {
 	BoundKilled int64   `json:"bound_killed_candidates"`
 	BufferHit   float64 `json:"buffer_hit_ratio"`
 	ElapsedMS   int64   `json:"elapsed_ms"`
+	// Alg and Parallelism are the EFFECTIVE values the join ran with — the
+	// resolved plan's algorithm, and the worker fan-out after the planner's
+	// choice and the server-side GOMAXPROCS clamp (which used to apply
+	// silently; now every response reports what actually ran).
+	Alg         string `json:"alg"`
+	Parallelism int    `json:"parallelism"`
+	// Plan is the resolved plan decision, human-readable: rule, predicate
+	// order, prefetch depth, cost estimate ("rule=fixed" for forced runs).
+	Plan string `json:"plan"`
 	// Cached marks a stream replayed from the result cache; the statistics
 	// above are the original run's.
 	Cached bool `json:"cached,omitempty"`
@@ -709,11 +761,15 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, `exactly one of "q" or "self" is required`)
 		return
 	}
-	alg, ok := map[string]rcj.Algorithm{"": rcj.OBJ, "obj": rcj.OBJ, "bij": rcj.BIJ, "inj": rcj.INJ}[req.Alg]
+	// "" and "auto" leave the algorithm to the cost-based planner; a named
+	// algorithm is forced verbatim (the old hard-coded-OBJ default is now
+	// spelled "obj").
+	alg, ok := map[string]rcj.Algorithm{"": 0, "auto": 0, "obj": rcj.OBJ, "bij": rcj.BIJ, "inj": rcj.INJ, "brute": rcj.Brute}[req.Alg]
 	if !ok {
-		errorJSON(w, http.StatusBadRequest, "unknown algorithm %q (want inj, bij, or obj)", req.Alg)
+		errorJSON(w, http.StatusBadRequest, "unknown algorithm %q (want auto, inj, bij, obj, or brute)", req.Alg)
 		return
 	}
+	forced := req.Alg != "" && req.Alg != "auto"
 	csvFormat := false
 	switch req.Format {
 	case "", "ndjson":
@@ -734,7 +790,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	qry := rcj.Query{
 		Algorithm:      alg,
-		ForceAlgorithm: true,
+		ForceAlgorithm: forced,
 		Parallelism:    req.Parallelism,
 		MaxDiameter:    req.MaxDiameter,
 		MinDistance:    req.MinDistance,
@@ -768,6 +824,18 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		}
 		defer s.release(ixQ)
 	}
+
+	// Resolve the plan BEFORE the result cache is consulted: the cache key
+	// embeds Canonical(), so cached entries are always keyed by the concrete
+	// resolved plan, never by the ambiguous "planner decides" zero value.
+	// The scheduler's later resolve call is a no-op on the forced result.
+	var dec rcj.PlanDecision
+	if req.Self {
+		qry, dec = qry.ResolveObserved(ixP.ix, ixP.ix, true, s.sched.Observe(ixP.ix, ixP.ix))
+	} else {
+		qry, dec = qry.ResolveObserved(ixQ.ix, ixP.ix, false, s.sched.Observe(ixQ.ix, ixP.ix))
+	}
+	s.recordPlan(dec)
 
 	// Result cache: a bounded sequential query whose exact result set is
 	// already memoized streams from memory — no slot, no traversal, no page
@@ -861,7 +929,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		if !req.Self {
 			names = append(names, req.Q)
 		}
-		s.cache.put(&cachedResult{key: ckey, names: names, pairs: collect, stats: st})
+		s.cache.put(&cachedResult{key: ckey, names: names, pairs: collect, stats: st, plan: dec})
 	}
 	if !csvFormat {
 		enc.Encode(map[string]summaryLine{"summary": {
@@ -873,6 +941,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			BoundKilled:  st.BoundKilledCandidates,
 			BufferHit:    st.BufferHitRatio(),
 			ElapsedMS:    time.Since(start).Milliseconds(),
+			Alg:          strings.ToLower(dec.Algorithm.String()),
+			Parallelism:  dec.Parallelism,
+			Plan:         dec.String(),
 		}})
 	}
 	flush()
@@ -909,6 +980,9 @@ func (s *Server) writeCachedJoin(w http.ResponseWriter, res *cachedResult, csvFo
 			NodesPruned:  st.NodesPruned,
 			BoundKilled:  st.BoundKilledCandidates,
 			BufferHit:    st.BufferHitRatio(),
+			Alg:          strings.ToLower(res.plan.Algorithm.String()),
+			Parallelism:  res.plan.Parallelism,
+			Plan:         res.plan.String(),
 			Cached:       true,
 		}})
 	}

@@ -98,6 +98,13 @@ func (q Query) Canonical() string {
 	b.WriteString(strconv.Itoa(q.TopK))
 	b.WriteString(";lim=")
 	b.WriteString(strconv.Itoa(q.Limit))
+	if q.Weight != nil {
+		// Weight functions are opaque: the marker keeps weighted runs from
+		// colliding with the diameter ranking, but two different weight
+		// functions still canonicalize alike — weighted queries must not be
+		// cached by Canonical alone (the daemon's result cache excludes them).
+		b.WriteString(";w=1")
+	}
 	return b.String()
 }
 
@@ -123,6 +130,10 @@ func (e *Engine) RunSelfBatches(ctx context.Context, ix *Index, qry Query) iter.
 func batchSeq(ctx context.Context, q, p *Index, qry Query, self bool) iter.Seq2[[]Pair, error] {
 	if err := qry.Validate(); err != nil {
 		return func(yield func([]Pair, error) bool) { yield(nil, err) }
+	}
+	qry, dec := qry.Resolve(q, p, self)
+	if qry.PlanOut != nil {
+		*qry.PlanOut = dec
 	}
 	return stream.Seq2(ctx, streamBuffer, func(runCtx context.Context, emit func([]Pair)) error {
 		coreOpts := qry.coreOptions(self)

@@ -1,0 +1,153 @@
+package rcj
+
+import (
+	"time"
+
+	"repro/internal/plan"
+)
+
+// This file connects queries to the cost-based planner (internal/plan). A
+// Query whose Algorithm is the zero value without ForceAlgorithm means
+// "planner decides": Resolve turns it into a concrete, forced query — so
+// cache keys, batch keys, and the executor all see the resolved plan — and
+// returns the Decision for reporting. Resolution is idempotent: a resolved
+// query takes the fixed path on every later Resolve.
+
+// PlanDecision is one resolved query plan (see internal/plan.Decision).
+type PlanDecision = plan.Decision
+
+// PlanObserved is the runtime feedback a serving stack can hand the planner
+// (see internal/plan.Observed).
+type PlanObserved = plan.Observed
+
+// Resolve resolves the query against the two join inputs, deriving the
+// observed state (buffer hit ratio, measured fault latency) from their
+// pools. Serving stacks with richer signals use ResolveObserved.
+func (q Query) Resolve(qx, px *Index, self bool) (Query, PlanDecision) {
+	return q.ResolveObserved(qx, px, self, autoObserved(qx, px))
+}
+
+// ResolveObserved is Resolve with caller-supplied observed state. When the
+// query pins its plan — ForceAlgorithm, or an explicit non-zero Algorithm —
+// the fixed plan is echoed verbatim (rule "fixed"); otherwise the planner
+// picks algorithm, parallelism, prefetch depth, and predicate order from
+// the inputs' metadata (epoch-aware for mutable indexes: the live point
+// count, not the sealed superblock's). The returned query is marked
+// ForceAlgorithm so Canonical(), batch keys, and every later Resolve see
+// the concrete plan.
+func (q Query) ResolveObserved(qx, px *Index, self bool, obs PlanObserved) (Query, PlanDecision) {
+	if q.ForceAlgorithm || q.Algorithm != INJ {
+		resolved := q
+		resolved.ForceAlgorithm = true
+		par := q.Parallelism
+		if par < 1 {
+			par = 1
+		}
+		return resolved, PlanDecision{
+			Algorithm:      q.algorithm(),
+			Parallelism:    par,
+			UseWeightBound: q.Weight != nil && q.TopK > 0,
+			Rule:           "fixed",
+			Epochs:         [2]uint64{qx.Epoch(), px.Epoch()},
+		}
+	}
+	req := plan.Request{
+		Self:        self,
+		MaxDiameter: q.MaxDiameter,
+		MinDistance: q.MinDistance,
+		TopK:        q.TopK,
+		Limit:       q.Limit,
+		Weighted:    q.Weight != nil,
+		Parallelism: q.Parallelism,
+	}
+	if q.Region != nil {
+		r := q.Region.geom()
+		req.Region = &r
+	}
+	dec := plan.Plan(req, qx.planMeta(), px.planMeta(), obs)
+	resolved := q
+	resolved.Algorithm = dec.Algorithm
+	resolved.ForceAlgorithm = true
+	if resolved.Parallelism < 1 {
+		resolved.Parallelism = dec.Parallelism
+	}
+	resolved.predOrder = dec.PredicateOrder
+	qx.applyPlan(dec)
+	if px != qx {
+		px.applyPlan(dec)
+	}
+	return resolved, dec
+}
+
+// planMeta assembles this index's planner metadata without reading data
+// pages. Mutable indexes answer from the live epoch layer — LiveStats, not
+// the sealed superblock, whose count goes stale the moment a delta batch
+// lands — and carry their epoch so the decision is pinned to the state it
+// planned against.
+func (ix *Index) planMeta() plan.IndexMeta {
+	if ls, ok := ix.LiveStats(); ok {
+		return plan.IndexMeta{
+			Count:   ls.Points,
+			Mutable: true,
+			Epoch:   ls.Seq,
+		}
+	}
+	m := plan.IndexMeta{
+		Count:  ix.pts,
+		Remote: ix.remote != nil,
+	}
+	if ix.tree != nil {
+		m.Count = ix.tree.Size()
+		m.Height = ix.tree.Height()
+		m.LeafCap = ix.tree.LeafCap()
+		ix.planMBROnce.Do(func() {
+			if mbr, err := ix.tree.RootMBR(); err == nil {
+				ix.planMBR = mbr
+				ix.planMBROK = true
+			}
+		})
+		if ix.planMBROK {
+			m.MBR = ix.planMBR
+			m.HasMBR = true
+		}
+	}
+	return m
+}
+
+// applyPlan applies the decision's advisory knobs to this index: the
+// readahead depth cap on a remote index's prefetcher. Shared across
+// concurrent queries, last writer wins — the cap only shapes speculation,
+// never correctness.
+func (ix *Index) applyPlan(dec PlanDecision) {
+	if ix.prefetch != nil && dec.PrefetchDepth > 0 {
+		ix.prefetch.SetDepthLimit(dec.PrefetchDepth)
+	}
+}
+
+// Observe derives planner feedback from the inputs' buffer pools: the hit
+// ratio predicts faults, and the measured per-miss load wait calibrates
+// what a fault costs on this backend. Serving stacks start from this and
+// overlay their own signals (free slots, queue depth) before calling
+// ResolveObserved.
+func Observe(qx, px *Index) PlanObserved { return autoObserved(qx, px) }
+
+// autoObserved derives planner feedback from the inputs' buffer pools: the
+// hit ratio predicts faults, and the measured per-miss load wait (the
+// satellite of the cost-model fix) calibrates what a fault costs on this
+// backend.
+func autoObserved(qx, px *Index) plan.Observed {
+	var obs plan.Observed
+	pool := qx.pool
+	if pool == nil {
+		pool = px.pool
+	}
+	if pool == nil {
+		return obs
+	}
+	st := pool.Stats()
+	obs.BufferHitRatio = st.HitRatio()
+	if st.Misses > 0 {
+		obs.FaultLatency = time.Duration(st.LoadNanos / st.Misses)
+	}
+	return obs
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/rtree"
 	"repro/internal/stream"
 )
 
@@ -21,6 +22,10 @@ type Rect struct {
 // Contains reports whether (x, y) lies inside or on the boundary of r.
 func (r Rect) Contains(x, y float64) bool {
 	return r.MinX <= x && x <= r.MaxX && r.MinY <= y && y <= r.MaxY
+}
+
+func (r Rect) geom() geom.Rect {
+	return geom.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
 }
 
 // ErrBadQuery is wrapped by every query-validation failure.
@@ -39,15 +44,20 @@ var ErrBadQuery = errors.New("rcj: invalid query")
 // every combination the output is set-identical to post-filtering the
 // unconstrained join with Matches (plus the TopK/Limit truncation).
 type Query struct {
-	// Algorithm picks the strategy; the zero value (INJ) is overridden to
-	// OBJ unless ForceAlgorithm is set, because OBJ dominates in every
-	// experiment.
+	// Algorithm picks the strategy. The zero value without ForceAlgorithm
+	// means "planner decides": the query resolves through the cost-based
+	// planner (Resolve), which picks among the paper's algorithms from the
+	// inputs' metadata and the calibrated cost model. Entry points that
+	// cannot consult a planner fall back to OBJ, the paper's dominant
+	// algorithm, so the zero value never silently runs INJ.
 	Algorithm Algorithm
-	// ForceAlgorithm uses Algorithm verbatim even when it is the zero value.
+	// ForceAlgorithm uses Algorithm verbatim even when it is the zero value,
+	// bypassing the planner entirely.
 	ForceAlgorithm bool
-	// Parallelism, when > 1, runs the join across that many goroutines. The
-	// result set is identical; emission order is not deterministic (TopK
-	// output is always in ranking order regardless).
+	// Parallelism, when > 1, runs the join across that many goroutines, and
+	// when 0 lets the planner choose. The result set is identical; emission
+	// order is not deterministic (TopK output is always in ranking order
+	// regardless).
 	Parallelism int
 
 	// MaxDiameter, when > 0, keeps only pairs whose ring diameter is at
@@ -78,6 +88,25 @@ type Query struct {
 	// runs it is filled when the iterator terminates (the write
 	// happens-before the range loop returns).
 	Stats *Stats
+
+	// Weight, when non-nil with TopK > 0, flips the top-k ranking from
+	// ascending ring diameter to DESCENDING combined endpoint weight
+	// w(P)+w(Q) — the school-bus pickup scenario: the k middleman locations
+	// covering the heaviest point pairs. The output equals the head of
+	// RankPairsByWeight over the unconstrained result, and the k-th combined
+	// score becomes a dynamic traversal bound (pairs that cannot reach it
+	// are killed before verification). The function must be pure; it is
+	// called concurrently. Requires TopK > 0.
+	Weight func(Point) float64
+	// PlanOut, when non-nil, receives the resolved plan (the planner's
+	// decision, or the echoed fixed plan) when the query is executed or
+	// explicitly resolved.
+	PlanOut *PlanDecision
+
+	// predOrder is the planner-chosen predicate evaluation order, set by
+	// Resolve and carried to the executor. Reordering never changes the
+	// admitted set (the predicates are a pure conjunction).
+	predOrder []core.Predicate
 }
 
 // Validate reports whether the query is well-formed.
@@ -98,6 +127,9 @@ func (q Query) Validate() error {
 	// false), which would otherwise silently prune the whole join.
 	if r := q.Region; r != nil && !(r.MinX <= r.MaxX && r.MinY <= r.MaxY) {
 		return fmt.Errorf("%w: empty region window %+v", ErrBadQuery, *r)
+	}
+	if q.Weight != nil && q.TopK <= 0 {
+		return fmt.Errorf("%w: Weight set without TopK", ErrBadQuery)
 	}
 	return nil
 }
@@ -130,16 +162,24 @@ func (q Query) algorithm() Algorithm {
 // coreOptions compiles the request into executor options.
 func (q Query) coreOptions(self bool) core.Options {
 	co := core.Options{
-		Algorithm:   q.algorithm(),
-		SelfJoin:    self,
-		Parallelism: q.Parallelism,
-		MaxDiameter: q.MaxDiameter,
-		MinDistance: q.MinDistance,
-		TopK:        q.TopK,
-		Limit:       q.Limit,
+		Algorithm:      q.algorithm(),
+		SelfJoin:       self,
+		Parallelism:    q.Parallelism,
+		MaxDiameter:    q.MaxDiameter,
+		MinDistance:    q.MinDistance,
+		TopK:           q.TopK,
+		Limit:          q.Limit,
+		PredicateOrder: q.predOrder,
 	}
 	if q.Region != nil {
-		co.Region = &geom.Rect{MinX: q.Region.MinX, MinY: q.Region.MinY, MaxX: q.Region.MaxX, MaxY: q.Region.MaxY}
+		r := q.Region.geom()
+		co.Region = &r
+	}
+	if q.Weight != nil {
+		w := q.Weight
+		co.Weight = func(pe rtree.PointEntry) float64 {
+			return w(Point{X: pe.P.X, Y: pe.P.Y, ID: pe.ID})
+		}
 	}
 	return co
 }
@@ -177,6 +217,10 @@ func (e *Engine) RunSelfCollect(ctx context.Context, ix *Index, qry Query) ([]Pa
 func runQuery(ctx context.Context, q, p *Index, qry Query, self bool, onPair func(Pair)) ([]Pair, Stats, error) {
 	if err := qry.Validate(); err != nil {
 		return nil, Stats{}, err
+	}
+	qry, dec := qry.Resolve(q, p, self)
+	if qry.PlanOut != nil {
+		*qry.PlanOut = dec
 	}
 	coreOpts := qry.coreOptions(self)
 	coreOpts.Collect = onPair == nil
@@ -218,6 +262,13 @@ func runQuery(ctx context.Context, q, p *Index, qry Query, self bool, onPair fun
 func querySeq(ctx context.Context, q, p *Index, qry Query, self bool) iter.Seq2[Pair, error] {
 	if err := qry.Validate(); err != nil {
 		return func(yield func(Pair, error) bool) { yield(Pair{}, err) }
+	}
+	// Resolve eagerly (not in the producer goroutine): PlanOut is filled
+	// before the iterator is returned, so the caller may inspect the plan
+	// without racing the stream.
+	qry, dec := qry.Resolve(q, p, self)
+	if qry.PlanOut != nil {
+		*qry.PlanOut = dec
 	}
 	return stream.Seq2(ctx, streamBuffer, func(runCtx context.Context, emit func(Pair)) error {
 		coreOpts := qry.coreOptions(self)

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
@@ -126,6 +127,13 @@ type Index struct {
 
 	nodeCache  *rtree.NodeCache // engine's decoded-node cache; nil = off
 	cacheOwner uint64           // this index's generation in nodeCache
+
+	// Planner metadata cache: the root MBR of an immutable tree never
+	// changes, so it is read once (one node access) on the first planned
+	// query and reused for every later one.
+	planMBROnce sync.Once
+	planMBR     geom.Rect
+	planMBROK   bool
 
 	// live, when non-nil, makes this a mutable index: reads go through the
 	// epoch layer's merged base+delta view instead of tree, and
